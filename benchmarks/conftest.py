@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at CI-friendly scales by default; set ``TREX_BENCH_SCALE=paper``
+to use the paper's full dataset sizes (slow).  Timing assertions are
+deliberately loose — the *shape* claims (who wins, what grows) are asserted
+on deterministic work counters wherever possible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import load
+
+FULL = os.environ.get("TREX_BENCH_SCALE", "").lower() == "paper"
+
+SIZES = {
+    "sp500": dict(num_series=20, length=252),
+    "covid19": dict(num_series=20, length=64),
+    "weather": dict(num_series=3, length=500),
+    "taxi": dict(num_series=1, length=960),
+    "nasdaq": dict(num_series=1, length=4000),
+}
+
+
+@pytest.fixture(scope="session")
+def tables():
+    """Lazily-loaded dataset tables at bench scale."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            if FULL:
+                cache[name] = load(name, scale="full")
+            else:
+                cache[name] = load(name, **SIZES[name])
+        return cache[name]
+
+    return get
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

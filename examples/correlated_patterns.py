@@ -1,0 +1,47 @@
+"""Cross-variable references: the paper's Figure 5 scenario.
+
+Find an upward trend followed, after an arbitrary gap, by a later segment
+whose values *correlate* with that trend.  The CORRELATE variable's
+condition references the segment matched by UP — T-ReX delivers it through
+segment payloads and the ``refs`` argument of ``eval()``; no
+post-processing pass is needed.
+
+Run:  python examples/correlated_patterns.py
+"""
+
+import numpy as np
+
+from repro import Series, TRexEngine, compile_query
+
+rng = np.random.default_rng(21)
+n = 160
+noise = rng.normal(0, 0.6, n)
+values = np.cumsum(rng.normal(0, 0.5, n)) + 50
+# Plant a rising motif and an echoing correlated motif later on.
+motif = np.linspace(0, 6, 12) + rng.normal(0, 0.2, 12)
+values[30:42] = values[30] + motif
+values[90:102] = values[90] + motif * 0.8 + noise[90:102] * 0.1
+
+series = Series({"tstamp": np.arange(float(n)), "x": values}, "tstamp")
+
+QUERY = """
+ORDER BY tstamp
+PATTERN (UP GAP (CORRELATE & CWIN)) & WINDOW
+DEFINE
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.x) >= 0.9,
+  SEGMENT GAP AS true,
+  SEGMENT CWIN AS window(8, 14),
+  SEGMENT CORRELATE AS corr(CORRELATE.x, UP.x) >= :min_corr,
+  SEGMENT WINDOW AS window(20, 90)
+"""
+
+query = compile_query(QUERY, params={"min_corr": 0.95})
+engine = TRexEngine(optimizer="cost")
+result = engine.execute_query(query, [series])
+
+print("Physical plan (note the reference flow into CORRELATE):")
+print(result.plan_explain)
+print()
+print(f"{result.total_matches} matches; examples:")
+for start, end in result.per_series[0].matches[:5]:
+    print(f"  [{start}, {end}]")

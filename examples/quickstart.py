@@ -1,0 +1,48 @@
+"""Quickstart: find V-shaped price patterns with T-ReX.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Table, find_matches
+
+# 1. Build a table of timestamped records (any columnar source works).
+rng = np.random.default_rng(7)
+days = np.arange(120.0)
+price = 100 * np.exp(np.cumsum(rng.normal(0.0, 0.02, size=len(days))))
+# Plant an obvious V: ten falling days followed by ten rising days.
+price[40:50] *= np.linspace(1.0, 0.75, 10)
+price[50:60] *= np.linspace(0.75, 1.05, 10)
+
+table = Table({
+    "tstamp": np.tile(days, 1),
+    "ticker": np.asarray(["ACME"] * len(days), dtype=object),
+    "price": price,
+}, time_unit="DAY")
+
+# 2. Write a pattern query.  Segment variables (DEFINE SEGMENT) match
+#    variable-length runs of points; `&` conjoins conditions on the same
+#    segment and juxtaposition concatenates segments.
+QUERY = """
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN ((DOWN & LEG) (UP & LEG)) & WINDOW
+DEFINE
+  SEGMENT LEG  AS window(4, null),              -- each leg >= 4 days
+  SEGMENT DOWN AS linear_reg_r2_signed(DOWN.tstamp, DOWN.price) <= -:fit,
+  SEGMENT UP   AS linear_reg_r2_signed(UP.tstamp, UP.price) >= :fit,
+  SEGMENT WINDOW AS window(8, :max_days)        -- whole V inside a window
+"""
+
+# 3. Execute.  The engine parses, rewrites, optimizes (cost-based, with
+#    search-space pruning) and runs the query.
+result = find_matches(table, QUERY, params={"fit": 0.85, "max_days": 30})
+
+print(result.summary())
+print()
+print("Chosen physical plan:")
+print(result.plan_explain)
+print()
+for key, matches in result.matches_by_key().items():
+    print(f"{key}: {len(matches)} V-shapes; first few: {matches[:5]}")

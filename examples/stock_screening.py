@@ -1,0 +1,48 @@
+"""Stock screening: negation and multi-segment chart patterns.
+
+Two realistic screens over (synthetic) S&P 500 daily prices:
+
+* ``limit_sell`` — stocks that rose by a target ratio with *no*
+  intermediate crash, using T-ReX's Not (~) operator;
+* ``head_shldr`` — the classic head-and-shoulders chart pattern, a
+  seven-segment concatenation with ratio conditions.
+
+Run:  python examples/stock_screening.py
+"""
+
+import time
+
+from repro import TRexEngine
+from repro.datasets import sp500
+from repro.queries import get_template
+
+table = sp500(num_series=40, length=252)
+engine = TRexEngine(optimizer="cost", sharing="auto")
+
+# -- Screen 1: sustained rise without a crash (Not operator) ----------------
+limit_sell = get_template("limit_sell")
+query = limit_sell.compile({"rise_ratio": 1.25, "fall_ratio": 0.85,
+                            "total_window_size": 60})
+series_list = table.partition(query.partition_by, query.order_by)
+
+t0 = time.perf_counter()
+result = engine.execute_query(query, series_list)
+print(f"limit_sell: {result.total_matches} windows with a >=25% rise and "
+      f"no >=15% drawdown ({time.perf_counter() - t0:.2f}s)")
+winners = [entry.key[0] for entry in result.per_series if entry.matches]
+print(f"  tickers: {winners[:10]}{' ...' if len(winners) > 10 else ''}")
+print()
+
+# -- Screen 2: head and shoulders -------------------------------------------
+head_shldr = get_template("head_shldr")
+query = head_shldr.compile({"t": 0.6, "total_window_size": 60,
+                            "r1": 1.02, "r2": 1.0})
+series_list = table.partition(query.partition_by, query.order_by)
+
+t0 = time.perf_counter()
+result = engine.execute_query(query, series_list)
+print(f"head_shldr: {result.total_matches} head-and-shoulders occurrences "
+      f"({time.perf_counter() - t0:.2f}s)")
+for entry in result.per_series:
+    for start, end in entry.matches[:1]:
+        print(f"  {entry.key[0]}: days [{start}, {end}]")

@@ -1,0 +1,12 @@
+"""Aggregates with computation sharing (``index()`` / ``lookup()``).
+
+See :mod:`repro.aggregates.base` for the interface and
+:mod:`repro.aggregates.registry` for registration of user-defined
+aggregates.
+"""
+
+from repro.aggregates.base import Aggregate, AggregateIndex
+from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
+
+__all__ = ["Aggregate", "AggregateIndex", "AggregateRegistry",
+           "DEFAULT_REGISTRY"]

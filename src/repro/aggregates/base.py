@@ -1,0 +1,118 @@
+"""Aggregate interface with computation sharing (Section 4.2).
+
+An :class:`Aggregate` evaluates a scalar over one segment's column values
+(or, for multi-segment aggregates like ``corr``, over several segments').
+Aggregates that can amortize work across overlapping segments additionally
+implement :meth:`Aggregate.build_index`, returning an
+:class:`AggregateIndex` whose :meth:`AggregateIndex.lookup` answers a single
+segment in (near-)constant time.  This is the paper's ``index()`` /
+``lookup()`` primitive pair.
+
+Cost shapes (``'C'``/``'L'``/``'Q'`` for constant/linear/quadratic) annotate
+how indexing cost scales with the search-space start–end range size and how
+per-segment evaluation cost scales with segment length; the optimizer's cost
+model consumes them (Appendix D.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AggregateError
+
+#: Valid cost-shape annotations.
+COST_SHAPES = ("C", "L", "Q")
+
+
+class AggregateIndex(ABC):
+    """Query-time index over a whole series for one aggregate call."""
+
+    @abstractmethod
+    def lookup(self, start: int, end: int) -> float:
+        """Aggregate value over the inclusive segment ``[start, end]``."""
+
+    def materialize_all(self) -> None:
+        """Eagerly build the complete index.
+
+        Indexes that materialize lazily override this; forced computation
+        sharing (the baselines of Figure 22b) calls it so the full upfront
+        cost is actually paid, as in the paper's eager ``index()``.
+        """
+
+
+class Aggregate(ABC):
+    """A named aggregate over segment column values.
+
+    Subclasses set:
+
+    ``name``
+        registry key (lowercase).
+    ``num_columns``
+        number of column arguments (each resolved to a value array over a
+        segment before evaluation).
+    ``num_extra``
+        number of scalar extra arguments (e.g. a context size).
+    ``direct_cost_shape``
+        cost of one direct evaluation as a function of segment length.
+    ``index_cost_shape`` / ``lookup_cost_shape``
+        cost of building the index as a function of the start–end range
+        size, and of one lookup as a function of segment length; ``None``
+        when the aggregate does not support indexing.
+    """
+
+    name: str = ""
+    num_columns: int = 1
+    num_extra: int = 0
+    direct_cost_shape: str = "L"
+    index_cost_shape: Optional[str] = None
+    lookup_cost_shape: Optional[str] = None
+
+    @property
+    def supports_index(self) -> bool:
+        """Whether :meth:`build_index` is implemented."""
+        return self.index_cost_shape is not None
+
+    @abstractmethod
+    def evaluate(self, arrays: Sequence[np.ndarray],
+                 extra: Sequence[float]) -> float:
+        """Direct evaluation over already-sliced column arrays."""
+
+    def build_index(self, columns: Sequence[np.ndarray],
+                    extra: Sequence[float]) -> AggregateIndex:
+        """Build a whole-series index (only if :attr:`supports_index`).
+
+        ``columns`` are the *full* series arrays, not segment slices.
+        """
+        raise AggregateError(f"aggregate {self.name!r} does not support indexing")
+
+    def validate_call(self, n_columns: int, n_extra: int) -> None:
+        """Raise :class:`AggregateError` when the call shape is wrong."""
+        if n_columns != self.num_columns or n_extra != self.num_extra:
+            raise AggregateError(
+                f"{self.name}() expects {self.num_columns} column argument(s) "
+                f"and {self.num_extra} scalar argument(s); got {n_columns} "
+                f"and {n_extra}")
+
+    def __repr__(self) -> str:
+        return f"<aggregate {self.name}>"
+
+
+def as_float_arrays(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Coerce column slices to float arrays, rejecting non-numeric data."""
+    out = []
+    for arr in arrays:
+        if arr.dtype == object:
+            raise AggregateError("aggregate applied to non-numeric column")
+        out.append(np.asarray(arr, dtype=np.float64))
+    return out
+
+
+def segment_pair(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Unpack exactly two column arrays (helper for binary aggregates)."""
+    if len(arrays) != 2:
+        raise AggregateError(f"expected 2 column arguments, got {len(arrays)}")
+    first, second = as_float_arrays(arrays)
+    return first, second

@@ -1,0 +1,167 @@
+"""Basic segment aggregates: sum, avg, count, min, max, stddev.
+
+All are indexable: sums/averages/counts/stddev via prefix sums, min/max via
+sparse tables.  They exist both for user queries and as simple, well-behaved
+fixtures for the optimizer's cost model tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregates.base import Aggregate, AggregateIndex, as_float_arrays
+from repro.aggregates.prefix import PrefixSums, SparseTable
+
+
+class _SumIndex(AggregateIndex):
+    __slots__ = ("_sums",)
+
+    def __init__(self, values: np.ndarray):
+        self._sums = PrefixSums(values)
+
+    def lookup(self, start: int, end: int) -> float:
+        return self._sums.range_sum(start, end)
+
+
+class _AvgIndex(AggregateIndex):
+    __slots__ = ("_sums",)
+
+    def __init__(self, values: np.ndarray):
+        self._sums = PrefixSums(values)
+
+    def lookup(self, start: int, end: int) -> float:
+        return self._sums.range_mean(start, end)
+
+
+class _CountIndex(AggregateIndex):
+    __slots__ = ()
+
+    def lookup(self, start: int, end: int) -> float:
+        return float(end - start + 1)
+
+
+class _StdIndex(AggregateIndex):
+    __slots__ = ("_sums", "_squares")
+
+    def __init__(self, values: np.ndarray):
+        self._sums = PrefixSums(values)
+        self._squares = PrefixSums(values * values)
+
+    def lookup(self, start: int, end: int) -> float:
+        n = end - start + 1
+        mean = self._sums.range_sum(start, end) / n
+        mean_sq = self._squares.range_sum(start, end) / n
+        variance = max(mean_sq - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+
+class _ExtremeIndex(AggregateIndex):
+    __slots__ = ("_table",)
+
+    def __init__(self, values: np.ndarray, mode: str):
+        self._table = SparseTable(values, mode=mode)
+
+    def lookup(self, start: int, end: int) -> float:
+        return self._table.query(start, end)
+
+
+class _OneColumnAggregate(Aggregate):
+    """Shared plumbing for the single-column basic aggregates."""
+
+    num_columns = 1
+    num_extra = 0
+    direct_cost_shape = "L"
+    index_cost_shape = "L"
+    lookup_cost_shape = "C"
+
+    def _direct(self, values: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _index(self, values: np.ndarray) -> AggregateIndex:
+        raise NotImplementedError
+
+    def evaluate(self, arrays: Sequence[np.ndarray],
+                 extra: Sequence[float]) -> float:
+        (values,) = as_float_arrays(arrays)
+        return self._direct(values)
+
+    def build_index(self, columns: Sequence[np.ndarray],
+                    extra: Sequence[float]) -> AggregateIndex:
+        (values,) = as_float_arrays(columns)
+        return self._index(values)
+
+
+class SumAggregate(_OneColumnAggregate):
+    """Sum of a column over the segment."""
+
+    name = "sum"
+
+    def _direct(self, values):
+        return float(np.sum(values))
+
+    def _index(self, values):
+        return _SumIndex(values)
+
+
+class AvgAggregate(_OneColumnAggregate):
+    """Arithmetic mean over the segment."""
+
+    name = "avg"
+
+    def _direct(self, values):
+        return float(np.mean(values)) if len(values) else 0.0
+
+    def _index(self, values):
+        return _AvgIndex(values)
+
+
+class CountAggregate(_OneColumnAggregate):
+    """Number of points in the segment."""
+
+    name = "count"
+    direct_cost_shape = "C"
+
+    def _direct(self, values):
+        return float(len(values))
+
+    def _index(self, values):
+        return _CountIndex()
+
+
+class MinAggregate(_OneColumnAggregate):
+    """Minimum over the segment."""
+
+    name = "min"
+
+    def _direct(self, values):
+        return float(np.min(values)) if len(values) else math.nan
+
+    def _index(self, values):
+        return _ExtremeIndex(values, "min")
+
+
+class MaxAggregate(_OneColumnAggregate):
+    """Maximum over the segment."""
+
+    name = "max"
+
+    def _direct(self, values):
+        return float(np.max(values)) if len(values) else math.nan
+
+    def _index(self, values):
+        return _ExtremeIndex(values, "max")
+
+
+class StdDevAggregate(_OneColumnAggregate):
+    """Population standard deviation over the segment."""
+
+    name = "stddev"
+
+    def _direct(self, values):
+        return float(np.std(values)) if len(values) else 0.0
+
+    def _index(self, values):
+        return _StdIndex(values)

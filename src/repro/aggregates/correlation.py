@@ -1,0 +1,48 @@
+"""Pearson correlation across two (possibly different) segments.
+
+``corr(A.x, B.x)`` compares the value sequences of two matched segments —
+the Figure 5 example correlates a candidate segment with a previously
+matched ``UP`` segment delivered through the ``refs`` mechanism.
+
+Segments of unequal length are compared over the aligned prefix of the
+shorter length (documented choice; the paper leaves alignment unspecified).
+``corr`` takes arrays from *different* segments, so it cannot use a shared
+single-series index and is always evaluated directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregates.base import Aggregate, segment_pair
+
+
+class Correlation(Aggregate):
+    """Pearson correlation of two segments' value sequences."""
+
+    name = "corr"
+    num_columns = 2
+    num_extra = 0
+    direct_cost_shape = "L"
+    index_cost_shape = None
+    lookup_cost_shape = None
+    #: Arguments may come from different variables' segments.
+    cross_segment = True
+
+    def evaluate(self, arrays: Sequence[np.ndarray],
+                 extra: Sequence[float]) -> float:
+        first, second = segment_pair(arrays)
+        n = min(len(first), len(second))
+        if n < 2:
+            return 0.0
+        a = first[:n]
+        b = second[:n]
+        std_a = float(np.std(a))
+        std_b = float(np.std(b))
+        if std_a <= 1e-12 or std_b <= 1e-12:
+            return 0.0
+        cov = float(np.mean((a - np.mean(a)) * (b - np.mean(b))))
+        value = cov / (std_a * std_b)
+        return min(max(value, -1.0), 1.0)

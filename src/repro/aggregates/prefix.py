@@ -1,0 +1,74 @@
+"""Prefix-sum and sparse-table machinery backing aggregate indexes.
+
+The paper's Example 2 builds accumulative sums over expressions such as
+``x``, ``y``, ``x**2`` and ``xy`` so that segment means are O(1) lookups.
+:class:`PrefixSums` packages that pattern; :class:`SparseTable` provides
+O(1) range min/max after O(n log n) build, used by the min/max aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PrefixSums:
+    """Accumulative sums with a leading zero for O(1) range sums.
+
+    ``range_sum(i, j)`` returns ``sum(values[i..j])`` inclusive.
+    """
+
+    __slots__ = ("_sums",)
+
+    def __init__(self, values: np.ndarray):
+        sums = np.empty(len(values) + 1, dtype=np.float64)
+        sums[0] = 0.0
+        np.cumsum(values, out=sums[1:])
+        self._sums = sums
+
+    def range_sum(self, start: int, end: int) -> float:
+        return float(self._sums[end + 1] - self._sums[start])
+
+    def range_mean(self, start: int, end: int) -> float:
+        return self.range_sum(start, end) / (end - start + 1)
+
+
+class SparseTable:
+    """O(1) range minimum/maximum queries after O(n log n) preprocessing."""
+
+    __slots__ = ("_table", "_log", "_reduce")
+
+    def __init__(self, values: np.ndarray, mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self._reduce = np.minimum if mode == "min" else np.maximum
+        n = len(values)
+        levels = max(1, int(np.floor(np.log2(max(n, 1)))) + 1)
+        table = [np.asarray(values, dtype=np.float64)]
+        span = 1
+        for _ in range(1, levels):
+            prev = table[-1]
+            if len(prev) <= span:
+                break
+            table.append(self._reduce(prev[:-span], prev[span:]))
+            span *= 2
+        self._table = table
+        log = np.zeros(n + 1, dtype=np.int64)
+        for i in range(2, n + 1):
+            log[i] = log[i // 2] + 1
+        self._log = log
+
+    def query(self, start: int, end: int) -> float:
+        """Min/max of ``values[start..end]`` inclusive."""
+        length = end - start + 1
+        level = int(self._log[length])
+        span = 1 << level
+        row = self._table[level]
+        return float(self._reduce(row[start], row[end - span + 1]))
+
+
+def pairwise_sign_matrix_row(values: np.ndarray, j: int) -> int:
+    """Sum of ``sign(values[j] - values[k])`` for ``k < j`` (helper)."""
+    if j == 0:
+        return 0
+    diffs = values[j] - values[:j]
+    return int(np.sum(np.sign(diffs)))

@@ -1,0 +1,93 @@
+"""Aggregate registry, including user-defined aggregates.
+
+The registry maps lowercase names (and aliases) to :class:`Aggregate`
+instances.  ``register()`` is the UDA entry point the paper describes for
+advanced users: an aggregate registered with an ``index_cost_shape``
+annotation participates in computation sharing and the optimizer's cost
+model exactly like the built-ins (Appendix D.2 — unannotated UDAs default
+to a linear direct-cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.aggregates.base import COST_SHAPES, Aggregate
+from repro.aggregates.basic import (AvgAggregate, CountAggregate,
+                                    MaxAggregate, MinAggregate,
+                                    StdDevAggregate, SumAggregate)
+from repro.aggregates.correlation import Correlation
+from repro.aggregates.linreg import (LinearRegressionR2,
+                                     LinearRegressionR2Signed)
+from repro.aggregates.mann_kendall import MannKendallTest
+from repro.aggregates.outlier import ZScoreOutlier
+from repro.aggregates.shape_stats import MaxDrawdown, Median, Slope
+from repro.aggregates.ticks import EqualUpDownTicks
+from repro.errors import AggregateError
+
+
+class AggregateRegistry:
+    """Name → aggregate lookup with alias support."""
+
+    def __init__(self):
+        self._aggregates: Dict[str, Aggregate] = {}
+
+    def register(self, aggregate: Aggregate,
+                 aliases: Iterable[str] = ()) -> None:
+        """Register an aggregate under its name and optional aliases."""
+        if not aggregate.name:
+            raise AggregateError("aggregate must define a non-empty name")
+        for shape in (aggregate.direct_cost_shape, aggregate.index_cost_shape,
+                      aggregate.lookup_cost_shape):
+            if shape is not None and shape not in COST_SHAPES:
+                raise AggregateError(
+                    f"aggregate {aggregate.name!r} has invalid cost shape "
+                    f"{shape!r}; expected one of {COST_SHAPES}")
+        for name in (aggregate.name, *aliases):
+            key = name.lower()
+            if key in self._aggregates:
+                raise AggregateError(f"aggregate {name!r} already registered")
+            self._aggregates[key] = aggregate
+
+    def get(self, name: str) -> Aggregate:
+        try:
+            return self._aggregates[name.lower()]
+        except KeyError:
+            raise AggregateError(
+                f"unknown aggregate {name!r}; registered: "
+                f"{sorted(self._aggregates)}") from None
+
+    def lookup(self, name: str) -> Optional[Aggregate]:
+        """Like :meth:`get` but returns ``None`` when unknown."""
+        return self._aggregates.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def names(self) -> list:
+        return sorted(self._aggregates)
+
+
+def _build_default_registry() -> AggregateRegistry:
+    registry = AggregateRegistry()
+    registry.register(LinearRegressionR2(), aliases=("linear_reg_r2",))
+    registry.register(LinearRegressionR2Signed(),
+                      aliases=("linear_reg_r2_signed",))
+    registry.register(MannKendallTest(), aliases=("mann_kandall_test",))
+    registry.register(ZScoreOutlier(), aliases=("zscoreoutlier",))
+    registry.register(Correlation())
+    registry.register(EqualUpDownTicks(), aliases=("equalupdownticks",))
+    registry.register(SumAggregate())
+    registry.register(AvgAggregate())
+    registry.register(CountAggregate())
+    registry.register(MinAggregate())
+    registry.register(MaxAggregate())
+    registry.register(StdDevAggregate())
+    registry.register(Slope())
+    registry.register(Median())
+    registry.register(MaxDrawdown())
+    return registry
+
+
+#: Process-wide default registry used when a query does not supply its own.
+DEFAULT_REGISTRY = _build_default_registry()

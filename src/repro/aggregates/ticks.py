@@ -1,0 +1,69 @@
+"""Tick-balance aggregate used by the AFA_Q1 query.
+
+``equal_up_down_ticks(col)`` returns 1.0 when the number of rising steps
+equals the number of falling steps across the segment, else 0.0 — the
+``EqualUpDownTicks`` condition of AFA_Q1 [28].
+
+Indexable: prefix counts of up-ticks and down-ticks make the lookup O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregates.base import Aggregate, AggregateIndex, as_float_arrays
+from repro.aggregates.prefix import PrefixSums
+
+
+def _tick_signs(values: np.ndarray) -> np.ndarray:
+    if len(values) < 2:
+        return np.zeros(0, dtype=np.float64)
+    return np.sign(np.diff(values))
+
+
+class _TickIndex(AggregateIndex):
+    """Prefix sums of up/down tick indicators.
+
+    Tick ``k`` describes the step from point ``k`` to ``k+1``, so segment
+    ``[i, j]`` covers ticks ``i .. j-1``.
+    """
+
+    __slots__ = ("_ups", "_downs")
+
+    def __init__(self, values: np.ndarray):
+        signs = _tick_signs(values)
+        self._ups = PrefixSums((signs > 0).astype(np.float64))
+        self._downs = PrefixSums((signs < 0).astype(np.float64))
+
+    def lookup(self, start: int, end: int) -> float:
+        if end - start < 1:
+            return 1.0
+        ups = self._ups.range_sum(start, end - 1)
+        downs = self._downs.range_sum(start, end - 1)
+        return 1.0 if ups == downs else 0.0
+
+
+class EqualUpDownTicks(Aggregate):
+    """1.0 when up-tick count equals down-tick count over the segment."""
+
+    name = "equal_up_down_ticks"
+    num_columns = 1
+    num_extra = 0
+    direct_cost_shape = "L"
+    index_cost_shape = "L"
+    lookup_cost_shape = "C"
+
+    def evaluate(self, arrays: Sequence[np.ndarray],
+                 extra: Sequence[float]) -> float:
+        (values,) = as_float_arrays(arrays)
+        signs = _tick_signs(values)
+        ups = int(np.sum(signs > 0))
+        downs = int(np.sum(signs < 0))
+        return 1.0 if ups == downs else 0.0
+
+    def build_index(self, columns: Sequence[np.ndarray],
+                    extra: Sequence[float]) -> AggregateIndex:
+        (values,) = as_float_arrays(columns)
+        return _TickIndex(values)

@@ -1,0 +1,75 @@
+"""Baseline executors used in the paper's evaluation (Section 6.3).
+
+All baselines expose ``match_series(series) -> sorted [(start, end)]`` and
+a ``name`` attribute; :func:`make_executor` builds any of them (plus the
+T-ReX engine wrappers) from a label.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.afa import AFAExecutor
+from repro.baselines.naive_tree import NaiveTreeExecutor
+from repro.baselines.nested_afa import NestedAFAExecutor
+from repro.errors import PlanError
+from repro.lang.query import Query
+from repro.timeseries.series import Series
+
+
+class TRexExecutorAdapter:
+    """Adapter exposing the T-ReX engine under the baseline interface."""
+
+    def __init__(self, query: Query, optimizer: str = "cost",
+                 sharing: str = "auto", name: str = "T-ReX",
+                 timeout_seconds=None):
+        from repro.core.engine import TRexEngine
+        self.query = query
+        self.name = name
+        self._engine = TRexEngine(optimizer=optimizer, sharing=sharing,
+                                  timeout_seconds=timeout_seconds)
+
+    def match_series(self, series: Series) -> List[Tuple[int, int]]:
+        result = self._engine.execute_query(self.query, [series])
+        return result.per_series[0].matches
+
+
+EXECUTOR_LABELS = ("trex", "trex-batch", "afa", "nested-afa", "zstream",
+                   "opencep")
+
+
+def make_executor(label: str, query: Query, sharing: bool = True,
+                  timeout_seconds=None):
+    """Build an executor by label (Section 6.3 line-up).
+
+    ``timeout_seconds`` bounds each ``match_series`` call; exceeding it
+    raises :class:`repro.errors.QueryTimeout`.
+    """
+    sharing_mode = "on" if sharing else "off"
+    if label == "trex":
+        # 'auto' lets the optimizer decide about computation sharing unless
+        # it is globally disabled.
+        return TRexExecutorAdapter(
+            query, "cost", "auto" if sharing else "off", "T-ReX",
+            timeout_seconds=timeout_seconds)
+    if label == "trex-batch":
+        return TRexExecutorAdapter(query, "batch", sharing_mode,
+                                   "T-ReX Batch",
+                                   timeout_seconds=timeout_seconds)
+    if label == "afa":
+        return AFAExecutor(query, sharing=sharing,
+                           timeout_seconds=timeout_seconds)
+    if label == "nested-afa":
+        return NestedAFAExecutor(query, sharing=sharing)
+    if label == "zstream":
+        return NaiveTreeExecutor(query, "zstream", sharing=sharing,
+                                 timeout_seconds=timeout_seconds)
+    if label == "opencep":
+        return NaiveTreeExecutor(query, "opencep", sharing=sharing,
+                                 timeout_seconds=timeout_seconds)
+    raise PlanError(f"unknown executor label {label!r}; expected one of "
+                    f"{EXECUTOR_LABELS}")
+
+
+__all__ = ["AFAExecutor", "NestedAFAExecutor", "NaiveTreeExecutor",
+           "TRexExecutorAdapter", "make_executor", "EXECUTOR_LABELS"]

@@ -1,0 +1,285 @@
+"""AFA baseline: an augmented-NFA pattern executor ([28], Section 6.3).
+
+The executor runs the automaton compiled from the pattern *in syntactic
+order*: anchored at every start position, it advances segment by segment
+left-to-right, evaluating each variable's Boolean condition the moment its
+segment's boundaries are fixed (register semantics).  There is no
+cross-variable reordering, no selectivity reasoning and no search-space
+probing — exactly the cost profile the paper attributes to NFA-based
+executors.  Two paper-faithful courtesies are applied, mirroring the
+hand-tuned transition graphs of Section 6.3.1:
+
+* window conditions are checked as early as possible (the logical plan's
+  embedded/pushed windows bound the enumeration),
+* within an ``And`` state, cheaper conditions are ordered ahead of more
+  expensive ones (``hand_tuned=True``).
+
+State merging: partial matches that reach the same automaton state at the
+same position are merged (memoized), as NFA executors do; conditions are
+still evaluated eagerly in pattern order.
+
+Computation sharing (``sharing=True``) pre-builds aggregate indexes for
+the whole series before matching, as in the paper's Figure 22b setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.exec.base import ExecContext
+from repro.lang import expr as E
+from repro.lang.query import Query
+from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
+                                LogicalNode, build_logical_plan, walk)
+from repro.timeseries.series import Series
+
+Env = Dict[str, Tuple[int, int]]
+
+
+def _condition_cost_rank(node: LogicalNode, query: Query) -> Tuple[int, int]:
+    """Cheapness rank for the hand-tuned ordering inside And states."""
+    rank = 0
+    size = 0
+    for sub in walk(node):
+        size += 1
+        if isinstance(sub, LVar) and sub.var.condition is not None:
+            calls = sub.var.aggregate_calls()
+            if not calls:
+                rank = max(rank, 1)
+            else:
+                for call in calls:
+                    agg = query.registry.get(call.name)
+                    shape = agg.direct_cost_shape
+                    rank = max(rank, 2 if shape in ("C", "L") else 3)
+    return (rank, size)
+
+
+class AFAExecutor:
+    """Augmented-NFA executor over one bound query."""
+
+    name = "AFA"
+
+    def __init__(self, query: Query, sharing: bool = True,
+                 hand_tuned: bool = True,
+                 timeout_seconds: Optional[float] = None):
+        self.query = query
+        self.plan = build_logical_plan(query)
+        self.sharing = sharing
+        self.hand_tuned = hand_tuned
+        self.timeout_seconds = timeout_seconds
+
+    # -- public API ------------------------------------------------------------
+
+    def match_series_prepare(self, series: Series) -> None:
+        """Initialize per-series state (index prebuild, state-merge memo)."""
+        import time
+        deadline = None
+        if self.timeout_seconds is not None:
+            deadline = time.perf_counter() + self.timeout_seconds
+        ctx = ExecContext(series, self.query.registry, deadline=deadline)
+        if self.sharing:
+            calls = []
+            for var in self.query.variables.values():
+                calls.extend(var.aggregate_calls())
+            ctx.prebuild_indexes(calls)
+        self._ctx = ctx
+        self._ends_memo: Dict[tuple, Tuple[Tuple[int, Env], ...]] = {}
+
+    def match_series(self, series: Series) -> List[Tuple[int, int]]:
+        """All matched (start, end) segments, sorted."""
+        self.match_series_prepare(series)
+        matches: Set[Tuple[int, int]] = set()
+        n = len(series)
+        for start in range(n):
+            for end, _env in self._ends(self.plan, start, {}):
+                matches.add((start, end))
+        return sorted(matches)
+
+    # -- anchored enumeration ---------------------------------------------------
+
+    def _provider(self):
+        return (self._ctx.indexed_provider if self.sharing
+                else self._ctx.direct_provider)
+
+    def _check(self, name: str, start: int, end: int, condition,
+               refs: Env) -> bool:
+        self._ctx.stats["condition_evals"] += 1
+        ectx = E.EvalContext(self._ctx.series, start, end, variable=name,
+                             refs=refs, provider=self._provider(),
+                             registry=self.query.registry)
+        return E.evaluate_condition(condition, ectx)
+
+    def _ends(self, node: LogicalNode, start: int,
+              refs: Env) -> Tuple[Tuple[int, Env], ...]:
+        """All (end, bindings) of matches of ``node`` anchored at ``start``.
+
+        Memoized per (node, start, refs) — AFA state merging.
+        """
+        key = (node.node_id, start,
+               tuple(sorted((k, v) for k, v in refs.items()
+                            if k in node.requires)))
+        hit = self._ends_memo.get(key)
+        if hit is not None:
+            return hit
+        result = tuple(self._enumerate(node, start, refs))
+        self._ends_memo[key] = result
+        return result
+
+    def _enumerate(self, node: LogicalNode, start: int,
+                   refs: Env) -> Iterator[Tuple[int, Env]]:
+        series = self._ctx.series
+        n = len(series)
+        if start >= n:
+            return
+        if isinstance(node, LVar):
+            var = node.var
+            lo, hi = node.window.end_range(series, start)
+            lo = max(lo, start)
+            hi = min(hi, n - 1)
+            if not var.is_segment:
+                if lo <= start <= hi:
+                    lo = hi = start
+                else:
+                    return
+            for end in range(lo, hi + 1):
+                self._ctx.tick()
+                if var.condition is not None:
+                    missing = set(var.external_refs) - set(refs)
+                    if missing:
+                        raise ExecutionError(
+                            f"AFA cannot evaluate {var.name!r}: references "
+                            f"{sorted(missing)} unavailable in pattern order")
+                    if not self._check(var.name, start, end, var.condition,
+                                       refs):
+                        continue
+                env = {var.name: (start, end)} if var.name in \
+                    self._published else {}
+                yield end, env
+            return
+        if isinstance(node, LConcat):
+            yield from self._enumerate_concat(node, start, refs)
+            return
+        if isinstance(node, LAnd):
+            yield from self._enumerate_and(node, start, refs)
+            return
+        if isinstance(node, LOr):
+            seen: Set[Tuple[int, tuple]] = set()
+            for part in node.parts:
+                for end, env in self._ends(part, start, refs):
+                    if node.window.accepts(series, start, end):
+                        key = (end, tuple(sorted(env.items())))
+                        if key not in seen:
+                            seen.add(key)
+                            yield end, env
+            return
+        if isinstance(node, LKleene):
+            yield from self._enumerate_kleene(node, start, refs)
+            return
+        if isinstance(node, LNot):
+            yield from self._enumerate_not(node, start, refs)
+            return
+        raise ExecutionError(f"AFA cannot execute node {node!r}")
+
+    @property
+    def _published(self) -> FrozenSet[str]:
+        names = set()
+        for var in self.query.variables.values():
+            names |= set(var.external_refs)
+        return frozenset(names)
+
+    def _enumerate_concat(self, node: LConcat, start: int,
+                          refs: Env) -> Iterator[Tuple[int, Env]]:
+        series = self._ctx.series
+
+        def advance(index: int, position: int,
+                    env: Env) -> Iterator[Tuple[int, Env]]:
+            merged = dict(refs)
+            merged.update(env)
+            for end, part_env in self._ends(node.parts[index], position,
+                                            merged):
+                new_env = dict(env)
+                new_env.update(part_env)
+                if index == len(node.parts) - 1:
+                    if node.window.accepts(series, start, end):
+                        yield end, new_env
+                else:
+                    yield from advance(index + 1, end + node.gaps[index],
+                                       new_env)
+
+        seen: Set[Tuple[int, tuple]] = set()
+        for end, env in advance(0, start, {}):
+            key = (end, tuple(sorted(env.items())))
+            if key not in seen:
+                seen.add(key)
+                yield end, env
+
+    def _enumerate_and(self, node: LAnd, start: int,
+                       refs: Env) -> Iterator[Tuple[int, Env]]:
+        series = self._ctx.series
+        parts = list(node.parts)
+        if self.hand_tuned:
+            parts.sort(key=lambda p: _condition_cost_rank(p, self.query))
+        first, rest = parts[0], parts[1:]
+        for end, env in self._ends(first, start, refs):
+            if not node.window.accepts(series, start, end):
+                continue
+            candidates = [(env, ())]
+            satisfied = True
+            for part in rest:
+                next_candidates = []
+                for cand_env, _ in candidates:
+                    merged = dict(refs)
+                    merged.update(cand_env)
+                    for other_end, other_env in self._ends(part, start,
+                                                           merged):
+                        if other_end == end:
+                            combined = dict(cand_env)
+                            combined.update(other_env)
+                            next_candidates.append((combined, ()))
+                if not next_candidates:
+                    satisfied = False
+                    break
+                candidates = next_candidates
+            if satisfied:
+                for cand_env, _ in candidates:
+                    yield end, cand_env
+
+    def _enumerate_kleene(self, node: LKleene, start: int,
+                          refs: Env) -> Iterator[Tuple[int, Env]]:
+        series = self._ctx.series
+        emitted: Set[int] = set()
+        visited: Set[Tuple[int, int]] = set()
+
+        def extend(position: int, reps: int) -> Iterator[int]:
+            for end, _env in self._ends(node.child, position, refs):
+                if node.gap == 0 and end == position:
+                    continue
+                new_reps = reps + 1
+                if node.max_reps is not None and new_reps > node.max_reps:
+                    continue
+                state = (end, new_reps)
+                if state in visited:
+                    continue
+                visited.add(state)
+                if new_reps >= node.min_reps and \
+                        node.window.accepts(series, start, end):
+                    yield end
+                yield from extend(end + node.gap, new_reps)
+
+        for end in extend(start, 0):
+            if end not in emitted:
+                emitted.add(end)
+                yield end, {}
+
+    def _enumerate_not(self, node: LNot, start: int,
+                       refs: Env) -> Iterator[Tuple[int, Env]]:
+        series = self._ctx.series
+        lo, hi = node.window.end_range(series, start)
+        lo = max(lo, start)
+        hi = min(hi, len(series) - 1)
+        for end in range(lo, hi + 1):
+            matched = any(child_end == end for child_end, _env
+                          in self._ends(node.child, start, refs))
+            if not matched:
+                yield end, {}

@@ -1,0 +1,52 @@
+"""NDCG scoring of plan rankings (Section 6.2.3, Table 7).
+
+The optimizer ranks candidate plans by estimated cost; the ground truth
+ranks them by measured execution time.  NDCG@all with graded relevance
+derived from execution times measures agreement between the two orders —
+1.0 means the cost model orders plans exactly like reality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _relevance(times: Sequence[float]) -> list:
+    """Graded relevance: fastest plan gets the highest grade.
+
+    Uses inverse time normalized to [0, 1], which rewards getting the fast
+    plans near the top much more than ordering the slow tail.
+    """
+    safe = [max(t, 1e-9) for t in times]
+    inv = [1.0 / t for t in safe]
+    top = max(inv)
+    return [value / top for value in inv]
+
+
+def dcg(relevances: Sequence[float]) -> float:
+    """Discounted cumulative gain of a relevance list in rank order."""
+    return sum(rel / math.log2(rank + 2)
+               for rank, rel in enumerate(relevances))
+
+
+def ndcg_from_times(estimated_costs: Sequence[float],
+                    execution_times: Sequence[float]) -> float:
+    """NDCG of the cost-ordered plan list against the time-ordered ideal.
+
+    ``estimated_costs[i]`` and ``execution_times[i]`` describe the same
+    plan.  Returns a score in [0, 1].
+    """
+    if len(estimated_costs) != len(execution_times):
+        raise ValueError("cost and time lists must have equal length")
+    if not estimated_costs:
+        return 1.0
+    relevance = _relevance(execution_times)
+    by_cost = [relevance[i] for i in
+               sorted(range(len(relevance)),
+                      key=lambda i: estimated_costs[i])]
+    ideal = sorted(relevance, reverse=True)
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg <= 0:
+        return 1.0
+    return dcg(by_cost) / ideal_dcg

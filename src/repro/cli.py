@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``query``   — run a pattern query over a CSV file or a built-in dataset;
+* ``explain`` — show the optimizer's physical plan without executing;
+* ``datasets`` — list the synthetic datasets and their shapes;
+* ``templates`` — list the paper's query templates;
+* ``profile`` — run the offline cost-parameter profiling (Tables 5 & 6).
+
+Examples::
+
+    python -m repro query --dataset weather --template cld_wave \\
+        --param fall_diff=18 --param down_r2_min=0.9
+    python -m repro query --csv prices.csv --query-file vshape.sql \\
+        --param fit=0.85
+    python -m repro explain --dataset sp500 --template v_shape \\
+        --param down_r2_max=-0.7 --param up_r2_min=0.9 \\
+        --param total_window_size=60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.core.engine import TRexEngine
+from repro.datasets import DATASET_SHAPES, load
+from repro.datasets.loader import load_csv
+from repro.errors import TRexError
+from repro.lang.query import compile_query
+from repro.queries import ALL_TEMPLATES, get_template
+
+
+def _parse_params(items) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise SystemExit(f"--param needs name=value, got {item!r}")
+        name, _, raw = item.partition("=")
+        try:
+            params[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[name] = raw
+    return params
+
+
+def _resolve_query(args, params):
+    if args.template:
+        template = get_template(args.template)
+        return template.compile(params), template
+    if args.query_file:
+        with open(args.query_file) as handle:
+            text = handle.read()
+        return compile_query(text, params), None
+    if args.query:
+        return compile_query(args.query, params), None
+    raise SystemExit("provide --template, --query or --query-file")
+
+
+def _resolve_table(args, template):
+    if args.csv:
+        return load_csv(args.csv, time_unit=args.time_unit)
+    dataset = args.dataset or (template.dataset if template else None)
+    if dataset is None:
+        raise SystemExit("provide --csv or --dataset")
+    kwargs = {}
+    if args.series is not None:
+        kwargs["num_series"] = args.series
+    if args.length is not None:
+        kwargs["length"] = args.length
+    return load(dataset, scale=args.scale, **kwargs)
+
+
+def cmd_query(args) -> int:
+    params = _parse_params(args.param)
+    query, template = _resolve_query(args, params)
+    table = _resolve_table(args, template)
+    engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing)
+    t0 = time.perf_counter()
+    result = engine.execute_query(
+        query, table.partition(query.partition_by, query.order_by))
+    elapsed = time.perf_counter() - t0
+    print(result.summary())
+    if args.show_plan:
+        print("\nPhysical plan:")
+        print(result.plan_explain)
+    shown = 0
+    for key, matches in result.matches_by_key().items():
+        for start, end in matches:
+            if shown >= args.limit:
+                print(f"... ({result.total_matches - shown} more)")
+                return 0
+            label = "/".join(str(part) for part in key) or "-"
+            print(f"{label}\t[{start}, {end}]")
+            shown += 1
+    del elapsed
+    return 0
+
+
+def cmd_explain(args) -> int:
+    params = _parse_params(args.param)
+    query, template = _resolve_query(args, params)
+    table = _resolve_table(args, template)
+    engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing)
+    from repro.plan.logical import build_logical_plan
+    logical = build_logical_plan(query)
+    series_list = table.partition(query.partition_by, query.order_by)
+    print("Query:")
+    print(query.describe())
+    print("\nLogical plan:")
+    print(logical.describe())
+    plan = engine.build_plan(query, logical, series_list)
+    print("\nPhysical plan:")
+    print(plan.explain())
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    print(f"{'dataset':10s} {'default':>16s} {'paper (full)':>16s}")
+    for name, (default, full) in sorted(DATASET_SHAPES.items()):
+        print(f"{name:10s} {default[0]:6d} x {default[1]:<7d} "
+              f"{full[0]:6d} x {full[1]:<7d}")
+    return 0
+
+
+def cmd_templates(_args) -> int:
+    for template in ALL_TEMPLATES:
+        grid = len(template.param_sets())
+        print(f"{template.name:14s} dataset={template.dataset:8s} "
+              f"instances={grid:3d}  {template.description}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.optimizer.profiler import profile_aggregates, profile_operators
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    print("Operator weights (w in f_op, ns):")
+    for name, value in sorted(profile_operators(sizes=sizes).items()):
+        print(f"  {name:20s} {value:12.1f}")
+    print("\nAggregate weights (w_ind, w_lookup, w_direct, ns):")
+    for name, values in sorted(profile_aggregates(sizes=sizes).items()):
+        print(f"  {name:24s} {values[0]:10.1f} {values[1]:10.1f} "
+              f"{values[2]:10.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_query_options(p):
+        p.add_argument("--template", help="a built-in query template name")
+        p.add_argument("--query", help="inline query text")
+        p.add_argument("--query-file", help="file containing the query")
+        p.add_argument("--param", action="append", metavar="NAME=VALUE",
+                       help="query parameter (repeatable)")
+        p.add_argument("--csv", help="CSV input file")
+        p.add_argument("--dataset", help="built-in synthetic dataset")
+        p.add_argument("--scale", default="default",
+                       choices=["default", "full"])
+        p.add_argument("--series", type=int, help="series count override")
+        p.add_argument("--length", type=int, help="series length override")
+        p.add_argument("--time-unit", default="DAY")
+        p.add_argument("--optimizer", default="cost")
+        p.add_argument("--sharing", default="auto",
+                       choices=["auto", "on", "off"])
+
+    q = sub.add_parser("query", help="run a pattern query")
+    add_query_options(q)
+    q.add_argument("--limit", type=int, default=20,
+                   help="max matches to print")
+    q.add_argument("--show-plan", action="store_true")
+    q.set_defaults(fn=cmd_query)
+
+    e = sub.add_parser("explain", help="show the plan without executing")
+    add_query_options(e)
+    e.set_defaults(fn=cmd_explain)
+
+    d = sub.add_parser("datasets", help="list synthetic datasets")
+    d.set_defaults(fn=cmd_datasets)
+
+    t = sub.add_parser("templates", help="list query templates")
+    t.set_defaults(fn=cmd_templates)
+
+    p = sub.add_parser("profile", help="offline cost profiling")
+    p.add_argument("--sizes", default="200,400")
+    p.set_defaults(fn=cmd_profile)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except TRexError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

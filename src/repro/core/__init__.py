@@ -1,0 +1,8 @@
+"""Core engine: planning + execution pipeline and reference semantics."""
+
+from repro.core.bruteforce import BruteForceMatcher
+from repro.core.engine import TRexEngine, find_matches
+from repro.core.result import QueryResult, SeriesMatches
+
+__all__ = ["BruteForceMatcher", "TRexEngine", "find_matches", "QueryResult",
+           "SeriesMatches"]

@@ -1,0 +1,290 @@
+"""Brute-force reference matcher — executable ground-truth semantics.
+
+This module defines what a T-ReX pattern *means* by exhaustive enumeration:
+a segment ``[i, j]`` matches the query iff some decomposition of it over the
+logical plan satisfies every variable's window and condition.  All
+executors (the T-ReX tree executor, batch mode, AFA, the naive trees) are
+differentially tested against this matcher.
+
+It is deliberately simple and unoptimized; use only on small inputs.
+
+Cross-variable references are handled by deferring a condition whose
+referenced segments are not yet bound during enumeration and checking it
+once the enclosing node's environment is complete (this also covers cyclic
+references between sibling sub-patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError, PlanError
+from repro.lang import expr as E
+from repro.lang.query import Query
+from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
+                                LogicalNode, build_logical_plan)
+from repro.timeseries.series import Series
+
+Env = Dict[str, Tuple[int, int]]
+#: A deferred condition: (variable name, its segment, condition expr).
+Deferred = Tuple[str, Tuple[int, int], object]
+Binding = Tuple[Env, Tuple[Deferred, ...]]
+
+
+def _check_condition(series: Series, name: str, segment: Tuple[int, int],
+                     condition, refs: Env, registry) -> bool:
+    ctx = E.EvalContext(series, segment[0], segment[1], variable=name,
+                        refs=refs, registry=registry)
+    return E.evaluate_condition(condition, ctx)
+
+
+class BruteForceMatcher:
+    """Exhaustive matcher over one logical plan."""
+
+    def __init__(self, query: Query, plan: Optional[LogicalNode] = None):
+        self.query = query
+        self.plan = plan if plan is not None else build_logical_plan(query)
+        self.registry = query.registry
+
+    # -- public API ---------------------------------------------------------
+
+    def match_series(self, series: Series) -> Set[Tuple[int, int]]:
+        """All matched ``(start, end)`` segments of one series."""
+        n = len(series)
+        results: Set[Tuple[int, int]] = set()
+        for start in range(n):
+            for end in range(start, n):
+                if self.matches_segment(series, start, end):
+                    results.add((start, end))
+        return results
+
+    def matches_segment(self, series: Series, start: int, end: int) -> bool:
+        """Whether segment ``[start, end]`` matches the whole pattern."""
+        for env, deferred in self._match(self.plan, series, start, end, {}):
+            if self._resolve_deferred(series, deferred, env):
+                return True
+        return False
+
+    def bindings_for_segment(self, series: Series, start: int,
+                             end: int) -> List[Env]:
+        """All satisfying variable-binding environments for one segment."""
+        out: List[Env] = []
+        seen = set()
+        for env, deferred in self._match(self.plan, series, start, end, {}):
+            if not self._resolve_deferred(series, deferred, env):
+                continue
+            key = tuple(sorted(env.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(dict(env))
+        return out
+
+    # -- enumeration ---------------------------------------------------------
+
+    def _resolve_deferred(self, series: Series,
+                          deferred: Sequence[Deferred], env: Env) -> bool:
+        for name, segment, condition in deferred:
+            needed = E.external_references(condition, name)
+            missing = needed - set(env)
+            if missing:
+                raise ExecutionError(
+                    f"condition of {name!r} references {sorted(missing)} "
+                    f"which are never bound")
+            if not _check_condition(series, name, segment, condition, env,
+                                    self.registry):
+                return False
+        return True
+
+    def _match(self, node: LogicalNode, series: Series, start: int, end: int,
+               refs: Env) -> Iterator[Binding]:
+        if start < 0 or end >= len(series) or start > end:
+            return
+        if not node.window.accepts(series, start, end):
+            return
+        if isinstance(node, LVar):
+            yield from self._match_var(node, series, start, end, refs)
+        elif isinstance(node, LAnd):
+            yield from self._match_parts_same_segment(
+                node.parts, series, start, end, refs, conjunctive=True)
+        elif isinstance(node, LOr):
+            for part in node.parts:
+                yield from self._match(part, series, start, end, refs)
+        elif isinstance(node, LConcat):
+            yield from self._match_concat(list(node.parts), list(node.gaps),
+                                          series, start, end, refs)
+        elif isinstance(node, LKleene):
+            yield from self._match_kleene(node, series, start, end, refs)
+        elif isinstance(node, LNot):
+            yield from self._match_not(node, series, start, end, refs)
+        else:
+            raise PlanError(f"unknown logical node {node!r}")
+
+    def _match_var(self, node: LVar, series: Series, start: int, end: int,
+                   refs: Env) -> Iterator[Binding]:
+        var = node.var
+        if not var.is_segment and start != end:
+            return
+        segment = (start, end)
+        if var.condition is None:
+            yield ({var.name: segment}, ())
+            return
+        needed = set(var.external_refs)
+        if needed <= set(refs):
+            if _check_condition(series, var.name, segment, var.condition,
+                                refs, self.registry):
+                yield ({var.name: segment}, ())
+            return
+        # Defer: some referenced variable is bound elsewhere in the tree.
+        yield ({var.name: segment}, ((var.name, segment, var.condition),))
+
+    def _match_parts_same_segment(self, parts, series, start, end, refs,
+                                  conjunctive: bool) -> Iterator[Binding]:
+        """All parts must match the same segment (And)."""
+        ordered = _dependency_order(parts, set(refs))
+
+        def recurse(index: int, env: Env,
+                    deferred: Tuple[Deferred, ...]) -> Iterator[Binding]:
+            if index == len(ordered):
+                yield env, deferred
+                return
+            part = ordered[index]
+            merged = dict(refs)
+            merged.update(env)
+            for part_env, part_deferred in self._match(part, series, start,
+                                                       end, merged):
+                new_env = dict(env)
+                new_env.update(part_env)
+                yield from recurse(index + 1, new_env,
+                                   deferred + part_deferred)
+
+        yield from recurse(0, {}, ())
+
+    def _match_concat(self, parts, gaps, series, start, end,
+                      refs) -> Iterator[Binding]:
+        """Enumerate boundary placements, then match parts in dependency
+        order within the fixed spans."""
+        for spans in _enumerate_spans(parts, gaps, start, end):
+            order = _dependency_order_indexed(parts, set(refs))
+
+            def recurse(k: int, env: Env,
+                        deferred: Tuple[Deferred, ...]) -> Iterator[Binding]:
+                if k == len(order):
+                    yield env, deferred
+                    return
+                idx = order[k]
+                span_start, span_end = spans[idx]
+                merged = dict(refs)
+                merged.update(env)
+                for part_env, part_deferred in self._match(
+                        parts[idx], series, span_start, span_end, merged):
+                    new_env = dict(env)
+                    new_env.update(part_env)
+                    yield from recurse(k + 1, new_env,
+                                       deferred + part_deferred)
+
+            yield from recurse(0, {}, ())
+
+    def _match_kleene(self, node: LKleene, series: Series, start: int,
+                      end: int, refs: Env) -> Iterator[Binding]:
+        if node.min_reps < 1:
+            raise PlanError(
+                "Kleene with a zero minimum over segments is not directly "
+                "executable; rewrite the query (wild segment variable) "
+                "— see DESIGN.md")
+        max_reps = node.max_reps
+
+        def recurse(rep_start: int, reps_done: int, env: Env,
+                    deferred: Tuple[Deferred, ...]) -> Iterator[Binding]:
+            remaining = end - rep_start
+            if remaining < 0:
+                return
+            # Try finishing with one repetition covering the rest.
+            if reps_done + 1 >= node.min_reps and (
+                    max_reps is None or reps_done + 1 <= max_reps):
+                merged = dict(refs)
+                merged.update(env)
+                for part_env, part_deferred in self._match(
+                        node.child, series, rep_start, end, merged):
+                    new_env = dict(env)
+                    new_env.update(part_env)
+                    yield new_env, deferred + part_deferred
+            # Or place an intermediate repetition and continue.
+            if max_reps is not None and reps_done + 1 >= max_reps:
+                return
+            for rep_end in range(rep_start, end):
+                if node.gap == 0 and rep_end == rep_start:
+                    # Zero-progress repetition under shared boundary: skip
+                    # to guarantee termination (DESIGN.md §3).
+                    continue
+                next_start = rep_end + node.gap
+                if next_start > end:
+                    break
+                merged = dict(refs)
+                merged.update(env)
+                for part_env, part_deferred in self._match(
+                        node.child, series, rep_start, rep_end, merged):
+                    new_env = dict(env)
+                    new_env.update(part_env)
+                    yield from recurse(next_start, reps_done + 1, new_env,
+                                       deferred + part_deferred)
+
+        yield from recurse(start, 0, {}, ())
+
+    def _match_not(self, node: LNot, series: Series, start: int, end: int,
+                   refs: Env) -> Iterator[Binding]:
+        for env, deferred in self._match(node.child, series, start, end,
+                                         refs):
+            merged = dict(refs)
+            merged.update(env)
+            if self._resolve_deferred(series, deferred, merged):
+                return  # the child matches; the negation does not
+        yield ({}, ())
+
+
+def _enumerate_spans(parts, gaps, start: int,
+                     end: int) -> Iterator[List[Tuple[int, int]]]:
+    """All placements of parts over ``[start, end]`` honouring join gaps."""
+
+    def recurse(index: int, span_start: int,
+                acc: List[Tuple[int, int]]) -> Iterator[List[Tuple[int, int]]]:
+        if index == len(parts) - 1:
+            if span_start <= end:
+                yield acc + [(span_start, end)]
+            return
+        for span_end in range(span_start, end + 1):
+            next_start = span_end + gaps[index]
+            if next_start > end:
+                break
+            # Shared boundary with zero progress is fine for padding parts;
+            # the enumeration still terminates because index advances.
+            yield from recurse(index + 1, next_start,
+                               acc + [(span_start, span_end)])
+
+    yield from recurse(0, start, [])
+
+
+def _dependency_order(parts, available: Set[str]) -> List[LogicalNode]:
+    """Order parts so refs are bound before use when possible."""
+    remaining = list(parts)
+    ordered: List[LogicalNode] = []
+    bound = set(available)
+    while remaining:
+        progressed = False
+        for part in list(remaining):
+            if set(part.requires) <= bound:
+                ordered.append(part)
+                remaining.remove(part)
+                bound |= set(part.provides)
+                progressed = True
+        if not progressed:
+            # Cyclic references: fall back to the given order; deferred
+            # checks will resolve them once the full environment is known.
+            ordered.extend(remaining)
+            break
+    return ordered
+
+
+def _dependency_order_indexed(parts, available: Set[str]) -> List[int]:
+    order = _dependency_order(parts, available)
+    index_of = {id(part): i for i, part in enumerate(parts)}
+    return [index_of[id(part)] for part in order]

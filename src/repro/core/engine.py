@@ -1,0 +1,189 @@
+"""The T-ReX engine: parse → rewrite → plan → execute (Section 3).
+
+:class:`TRexEngine` is the library's main entry point::
+
+    engine = TRexEngine()
+    result = engine.execute(table, query_text, params={...})
+
+Planner selection:
+
+* ``optimizer='cost'`` (default) — the cost-based dynamic-programming
+  optimizer of Section 5;
+* ``optimizer='batch'`` — cost-based but with probe operators disabled
+  (the "T-ReX Batch" baseline of Section 6.3);
+* a :class:`RuleStrategy` or its label (``'pr_left'``, ``'sm_right_pnot'``,
+  ...) — the rule-based baselines of Section 6.2.
+
+Computation sharing (``sharing=``): ``'auto'`` lets the optimizer choose
+per leaf, ``'on'`` always prefers indexed leaves, ``'off'`` disables
+indexes entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.result import QueryResult, SeriesMatches
+from repro.errors import PlanError
+from repro.exec.base import ExecContext, PhysicalOperator
+from repro.lang.query import Query, compile_query
+from repro.plan.logical import LogicalNode, build_logical_plan
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.series import Series
+from repro.timeseries.table import Table
+
+PlannerSpec = Union[str, "RuleStrategy"]
+
+
+def _resolve_rule_strategy(label: str):
+    from repro.optimizer.rulebased import (BASELINE_STRATEGIES_WITH_NOT,
+                                           RuleStrategy)
+    for strategy in BASELINE_STRATEGIES_WITH_NOT:
+        if strategy.label == label:
+            return strategy
+    raise PlanError(f"unknown planner {label!r}; expected 'cost', 'batch' or "
+                    f"one of "
+                    f"{[s.label for s in BASELINE_STRATEGIES_WITH_NOT]}")
+
+
+class TRexEngine:
+    """Pattern-search engine over historical time series."""
+
+    def __init__(self, optimizer: PlannerSpec = "cost",
+                 sharing: str = "auto",
+                 timeout_seconds: Optional[float] = None,
+                 max_matches: Optional[int] = None):
+        if sharing not in ("auto", "on", "off"):
+            raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
+                            f"got {sharing!r}")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise PlanError("timeout_seconds must be positive")
+        if max_matches is not None and max_matches <= 0:
+            raise PlanError("max_matches must be positive")
+        self.optimizer = optimizer
+        self.sharing = sharing
+        #: Wall-clock budget for one execute_query() call; exceeding it
+        #: raises :class:`repro.errors.QueryTimeout`.
+        self.timeout_seconds = timeout_seconds
+        #: Stop after this many matches across all series (early exit).
+        self.max_matches = max_matches
+
+    # -- planning -------------------------------------------------------------
+
+    def build_plan(self, query: Query, logical: LogicalNode,
+                   series_list: List[Series]) -> PhysicalOperator:
+        """Build the physical plan used for every series of the query.
+
+        Rule-based strategies are data-independent; the cost-based planner
+        samples statistics from ``series_list`` (Appendix D.3).
+        """
+        from repro.optimizer.rulebased import RuleBasedPlanner, RuleStrategy
+
+        sharing = self.sharing
+        optimizer = self.optimizer
+        if isinstance(optimizer, RuleStrategy) or (
+                isinstance(optimizer, str)
+                and optimizer not in ("cost", "batch")):
+            strategy = optimizer if isinstance(optimizer, RuleStrategy) \
+                else _resolve_rule_strategy(optimizer)
+            leaf_sharing = "off" if sharing == "off" else "on"
+            return RuleBasedPlanner(strategy, sharing=leaf_sharing).plan(
+                query, logical)
+        from repro.optimizer.planner import CostBasedPlanner
+        planner = CostBasedPlanner(
+            allow_probes=(optimizer != "batch"), sharing=sharing)
+        return planner.plan(query, logical, series_list)
+
+    def plan_for_series(self, query: Query, logical: LogicalNode,
+                        series: Series) -> PhysicalOperator:
+        """Build a plan from a single series (convenience for tests)."""
+        return self.build_plan(query, logical, [series])
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, table: Table, query_text: str,
+                params: Optional[Dict[str, object]] = None) -> QueryResult:
+        """Parse, plan and execute a query over a table."""
+        query = compile_query(query_text, params)
+        return self.execute_query(query, table)
+
+    def execute_query(self, query: Query,
+                      table: Union[Table, List[Series]]) -> QueryResult:
+        """Plan and execute a bound query."""
+        if isinstance(table, Table):
+            series_list = table.partition(query.partition_by, query.order_by)
+        else:
+            series_list = list(table)
+        logical = build_logical_plan(query)
+
+        result = QueryResult()
+        non_empty = [series for series in series_list if len(series)]
+        if not non_empty:
+            result.per_series = [SeriesMatches(series.key, [])
+                                 for series in series_list]
+            return result
+        t0 = time.perf_counter()
+        plan = self.build_plan(query, logical, non_empty)
+        t1 = time.perf_counter()
+        result.planning_seconds = t1 - t0
+        result.plan_explain = plan.explain()
+        deadline = None
+        if self.timeout_seconds is not None:
+            deadline = t1 + self.timeout_seconds
+        exec_seconds = 0.0
+        remaining = self.max_matches
+        for series in series_list:
+            if len(series) == 0 or (remaining is not None and remaining <= 0):
+                result.per_series.append(SeriesMatches(series.key, []))
+                continue
+            t2 = time.perf_counter()
+            matches, stats = self._run_plan(plan, series, query,
+                                            deadline=deadline,
+                                            limit=remaining)
+            exec_seconds += time.perf_counter() - t2
+            if remaining is not None:
+                remaining -= len(matches)
+            result.per_series.append(SeriesMatches(series.key, matches))
+            result.stats.update(stats)
+        result.execution_seconds = exec_seconds
+        return result
+
+    def explain_match(self, query: Query, series: Series, start: int,
+                      end: int):
+        """All variable-binding environments proving ``[start, end]``
+        matches (a MEASURES-style introspection aid).
+
+        Uses the exhaustive reference matcher, so intended for inspecting
+        individual matches, not bulk extraction.
+        """
+        from repro.core.bruteforce import BruteForceMatcher
+        return BruteForceMatcher(query).bindings_for_segment(series, start,
+                                                             end)
+
+    def _run_plan(self, plan: PhysicalOperator, series: Series,
+                  query: Query, deadline: Optional[float] = None,
+                  limit: Optional[int] = None) \
+            -> Tuple[List[Tuple[int, int]], Dict]:
+        ctx = ExecContext(series, query.registry, deadline=deadline)
+        sp = SearchSpace.full(len(series))
+        seen = set()
+        matches: List[Tuple[int, int]] = []
+        for segment in plan.eval(ctx, sp, {}):
+            bounds = segment.bounds
+            if bounds not in seen:
+                seen.add(bounds)
+                matches.append(bounds)
+                if limit is not None and len(matches) >= limit:
+                    break
+        matches.sort()
+        return matches, ctx.stats
+
+
+def find_matches(table: Table, query_text: str,
+                 params: Optional[Dict[str, object]] = None,
+                 optimizer: PlannerSpec = "cost",
+                 sharing: str = "auto") -> QueryResult:
+    """One-call convenience API: run a pattern query over a table."""
+    engine = TRexEngine(optimizer=optimizer, sharing=sharing)
+    return engine.execute(table, query_text, params)

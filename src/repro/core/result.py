@@ -1,0 +1,54 @@
+"""Query results: matches per series plus run diagnostics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SeriesMatches:
+    """All matches found in one series."""
+
+    key: tuple
+    matches: List[Tuple[int, int]]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one query over a table."""
+
+    per_series: List[SeriesMatches] = field(default_factory=list)
+    plan_explain: str = ""
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    stats: Counter = field(default_factory=Counter)
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(entry) for entry in self.per_series)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.planning_seconds + self.execution_seconds
+
+    def matches_by_key(self) -> Dict[tuple, List[Tuple[int, int]]]:
+        return {entry.key: list(entry.matches) for entry in self.per_series}
+
+    def all_matches(self) -> List[Tuple[tuple, int, int]]:
+        """Flattened ``(series_key, start, end)`` triples."""
+        out = []
+        for entry in self.per_series:
+            for start, end in entry.matches:
+                out.append((entry.key, start, end))
+        return out
+
+    def summary(self) -> str:
+        return (f"{self.total_matches} matches over "
+                f"{len(self.per_series)} series in "
+                f"{self.total_seconds:.3f}s "
+                f"(planning {self.planning_seconds:.3f}s)")

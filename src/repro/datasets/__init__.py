@@ -1,0 +1,8 @@
+"""Synthetic datasets standing in for the paper's five (Table 2)."""
+
+from repro.datasets.synthetic import (DATASET_SHAPES, GENERATORS, covid19,
+                                      dataset_statistics, load, nasdaq,
+                                      sp500, taxi, weather)
+
+__all__ = ["DATASET_SHAPES", "GENERATORS", "covid19", "dataset_statistics",
+           "load", "nasdaq", "sp500", "taxi", "weather"]

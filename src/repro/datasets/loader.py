@@ -1,0 +1,81 @@
+"""Loading tables from CSV files (no pandas dependency).
+
+``load_csv`` reads a delimited text file into a
+:class:`~repro.timeseries.table.Table`: numeric columns become float
+arrays, everything else stays as strings.  Used by the CLI and handy for
+loading the real datasets when a user has them on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.table import Table
+
+
+def _try_float(value: str) -> Optional[float]:
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def load_csv(path: str, delimiter: str = ",", time_unit: str = "DAY",
+             columns: Optional[Sequence[str]] = None) -> Table:
+    """Read a CSV file with a header row into a Table.
+
+    ``columns`` optionally restricts which header columns are kept.  A
+    column is numeric if every non-empty cell parses as a float; empty
+    cells in numeric columns become NaN.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty file") from None
+        header = [name.strip() for name in header]
+        keep = list(columns) if columns else header
+        missing = set(keep) - set(header)
+        if missing:
+            raise DataError(f"{path}: columns {sorted(missing)} not in "
+                            f"header {header}")
+        indices = [header.index(name) for name in keep]
+        raw: List[List[str]] = [[] for _ in keep]
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < len(header):
+                raise DataError(f"{path}:{row_number}: expected "
+                                f"{len(header)} cells, got {len(row)}")
+            for out, index in zip(raw, indices):
+                out.append(row[index].strip())
+
+    table_columns: Dict[str, np.ndarray] = {}
+    for name, cells in zip(keep, raw):
+        parsed = [_try_float(cell) if cell != "" else None for cell in cells]
+        if all(value is not None or cell == ""
+               for value, cell in zip(parsed, cells)):
+            table_columns[name] = np.asarray(
+                [float("nan") if value is None else value
+                 for value in parsed], dtype=np.float64)
+        else:
+            table_columns[name] = np.asarray(cells, dtype=object)
+    if not table_columns:
+        raise DataError(f"{path}: no columns selected")
+    return Table(table_columns, time_unit=time_unit)
+
+
+def save_csv(table: Table, path: str, delimiter: str = ",") -> None:
+    """Write a Table back to CSV (round-trip/testing aid)."""
+    names = table.column_names
+    arrays = [table.column(name) for name in names]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for row in range(len(table)):
+            writer.writerow([arrays[i][row] for i in range(len(names))])

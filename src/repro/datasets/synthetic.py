@@ -1,0 +1,242 @@
+"""Synthetic stand-ins for the paper's five datasets (Table 2).
+
+No network access is available (and two of the paper's datasets are large
+downloads), so each dataset is replaced by a seeded generator that
+preserves the properties the experiments exercise — series count, length,
+and the frequency/shape of the patterns each query template searches for.
+DESIGN.md §4 documents each substitution.
+
+All generators return a :class:`~repro.timeseries.table.Table` and accept
+``scale='default'`` (CI-friendly sizes) or ``scale='full'`` (the paper's
+sizes).  Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.table import Table
+
+#: Paper sizes (Table 2) and our scaled defaults.
+DATASET_SHAPES = {
+    #          (series, length) default    (series, length) full
+    "sp500": ((503, 252), (503, 252)),
+    "covid19": ((334, 64), (3342, 64)),
+    "weather": ((36, 618), (36, 1854)),
+    "taxi": ((1, 3440), (1, 10320)),
+    "nasdaq": ((1, 35180), (1, 351795)),
+}
+
+
+def _shape(name: str, scale: str, num_series: Optional[int],
+           length: Optional[int]):
+    default, full = DATASET_SHAPES[name]
+    base = full if scale == "full" else default
+    return (num_series if num_series is not None else base[0],
+            length if length is not None else base[1])
+
+
+def sp500(scale: str = "default", num_series: Optional[int] = None,
+          length: Optional[int] = None, seed: int = 42) -> Table:
+    """Daily opening prices: geometric Brownian motion per ticker.
+
+    Drift and volatility vary per ticker so that V-shapes, head-and-
+    shoulders and large falls all occur with realistic frequency.
+    """
+    n_series, n = _shape("sp500", scale, num_series, length)
+    rng = np.random.default_rng(seed)
+    tstamps = []
+    tickers = []
+    prices = []
+    for index in range(n_series):
+        ticker = f"S{index:04d}"
+        start = float(rng.uniform(20.0, 400.0))
+        drift = float(rng.normal(0.0002, 0.001))
+        vol = float(rng.uniform(0.01, 0.035))
+        returns = rng.normal(drift, vol, size=n)
+        series = start * np.exp(np.cumsum(returns))
+        tstamps.extend(range(n))
+        tickers.extend([ticker] * n)
+        prices.extend(series.tolist())
+    return Table({"tstamp": np.asarray(tstamps, dtype=np.float64),
+                  "ticker": np.asarray(tickers, dtype=object),
+                  "price": np.asarray(prices, dtype=np.float64)},
+                 time_unit="DAY")
+
+
+def covid19(scale: str = "default", num_series: Optional[int] = None,
+            length: Optional[int] = None, seed: int = 43) -> Table:
+    """Weekly confirmed cases per county: overlapping epidemic waves.
+
+    Each county's series is a sum of 1–3 bell-shaped waves plus noise,
+    floored at 1 so ratio conditions are well defined; this yields the
+    fall-then-rebound shapes the ``rebound`` template searches for.
+    """
+    n_series, n = _shape("covid19", scale, num_series, length)
+    rng = np.random.default_rng(seed)
+    weeks = np.arange(n, dtype=np.float64)
+    tstamps = []
+    counties = []
+    confirmed = []
+    for index in range(n_series):
+        county = f"C{index:05d}"
+        waves = np.zeros(n)
+        for _ in range(int(rng.integers(1, 4))):
+            center = float(rng.uniform(5, n - 5))
+            width = float(rng.uniform(2.0, 8.0))
+            height = float(rng.uniform(50.0, 5000.0))
+            waves += height * np.exp(-0.5 * ((weeks - center) / width) ** 2)
+        noise = rng.normal(0, 0.05, size=n) * (waves + 10.0)
+        values = np.maximum(waves + noise, 1.0)
+        tstamps.extend(range(n))
+        counties.extend([county] * n)
+        confirmed.extend(values.tolist())
+    return Table({"tstamp": np.asarray(tstamps, dtype=np.float64),
+                  "county": np.asarray(counties, dtype=object),
+                  "confirmed": np.asarray(confirmed, dtype=np.float64)},
+                 time_unit="WEEK")
+
+
+def weather(scale: str = "default", num_series: Optional[int] = None,
+            length: Optional[int] = None, seed: int = 44,
+            cold_waves_per_city: int = 3) -> Table:
+    """Daily temperatures per city: seasonality + AR(1) noise + injected
+    cold waves.
+
+    Each injected cold wave follows the paper's Figure 1a shape: a multi-
+    week meandering warm-up followed by a steep multi-degree drop within a
+    few days, guaranteeing non-empty ``cld_wave`` results.
+    """
+    n_series, n = _shape("weather", scale, num_series, length)
+    rng = np.random.default_rng(seed)
+    days = np.arange(n, dtype=np.float64)
+    tstamps = []
+    cities = []
+    temps = []
+    for index in range(n_series):
+        city = f"CITY{index:02d}"
+        mean = float(rng.uniform(5.0, 25.0))
+        amplitude = float(rng.uniform(8.0, 15.0))
+        phase = float(rng.uniform(0, 2 * math.pi))
+        seasonal = mean + amplitude * np.sin(2 * math.pi * days / 365.25
+                                             + phase)
+        noise = np.zeros(n)
+        sigma = float(rng.uniform(1.5, 3.0))
+        for day in range(1, n):
+            noise[day] = 0.7 * noise[day - 1] + rng.normal(0, sigma)
+        values = seasonal + noise
+        # Inject cold waves: ~22 days of gradual warm-up then a steep
+        # 3-5 day drop of >= 22 degrees.
+        for _ in range(cold_waves_per_city):
+            anchor = int(rng.integers(35, max(n - 10, 36)))
+            warmup = int(rng.integers(20, 26))
+            lo = max(anchor - warmup, 0)
+            ramp = np.linspace(0.0, rng.uniform(6.0, 10.0), anchor - lo)
+            values[lo:anchor] += ramp
+            drop_len = int(rng.integers(3, 6))
+            hi = min(anchor + drop_len, n)
+            drop = np.linspace(0.0, -rng.uniform(22.0, 30.0), hi - anchor)
+            values[anchor:hi] += drop
+        tstamps.extend(range(n))
+        cities.extend([city] * n)
+        temps.extend(values.tolist())
+    return Table({"tstamp": np.asarray(tstamps, dtype=np.float64),
+                  "city": np.asarray(cities, dtype=object),
+                  "temp": np.asarray(temps, dtype=np.float64)},
+                 time_unit="DAY")
+
+
+def taxi(scale: str = "default", num_series: Optional[int] = None,
+         length: Optional[int] = None, seed: int = 45) -> Table:
+    """Half-hourly NYC taxi ride counts: daily + weekly seasonality.
+
+    48 points per day with a strong morning ramp-up and evening decline —
+    the repeated pattern ``rptd_pttrn`` searches for across consecutive
+    days.
+    """
+    _, n = _shape("taxi", scale, num_series, length)
+    rng = np.random.default_rng(seed)
+    slots = np.arange(n, dtype=np.float64)
+    time_of_day = (slots % 48) / 48.0
+    day_of_week = (slots // 48) % 7
+    base = 4000.0 + 5000.0 * np.exp(
+        -0.5 * ((time_of_day - 0.58) / 0.17) ** 2)
+    base *= np.where(day_of_week >= 5, 0.85, 1.0)
+    night_dip = np.where((time_of_day > 0.04) & (time_of_day < 0.22), 0.25,
+                         1.0)
+    values = base * night_dip + rng.normal(0, 150.0, size=n)
+    values = np.maximum(values, 50.0)
+    return Table({"tstamp": slots,
+                  "rides": values.astype(np.float64)}, time_unit="HOUR")
+
+
+def nasdaq(scale: str = "default", num_series: Optional[int] = None,
+           length: Optional[int] = None, seed: int = 46,
+           num_tickers: int = 20) -> Table:
+    """A single intraday tick stream interleaving many tickers.
+
+    Columns ``ticker`` and ``peak`` mirror the OpenCEP benchmark stream;
+    the OpenCEP_Qx templates filter points by ticker equality.  Timestamps
+    count seconds.
+    """
+    _, n = _shape("nasdaq", scale, num_series, length)
+    rng = np.random.default_rng(seed)
+    names = ["GOOG", "AAPL", "MSFT", "AMZN"] + [
+        f"T{i:03d}" for i in range(max(num_tickers - 4, 0))]
+    names = names[:num_tickers]
+    ticker_ids = rng.integers(0, len(names), size=n)
+    prices = {name: float(rng.uniform(50.0, 1500.0)) for name in names}
+    peaks = np.empty(n, dtype=np.float64)
+    tickers = np.empty(n, dtype=object)
+    for row in range(n):
+        name = names[int(ticker_ids[row])]
+        prices[name] *= math.exp(rng.normal(0, 0.0008))
+        peaks[row] = prices[name]
+        tickers[row] = name
+    timestamps = np.cumsum(rng.integers(1, 4, size=n)).astype(np.float64)
+    return Table({"tstamp": timestamps, "ticker": tickers, "peak": peaks},
+                 time_unit="SECOND")
+
+
+#: Name → generator mapping.
+GENERATORS = {
+    "sp500": sp500,
+    "covid19": covid19,
+    "weather": weather,
+    "taxi": taxi,
+    "nasdaq": nasdaq,
+}
+
+
+def load(name: str, scale: str = "default", **kwargs) -> Table:
+    """Load a dataset by name."""
+    try:
+        generator = GENERATORS[name]
+    except KeyError:
+        raise DataError(f"unknown dataset {name!r}; available: "
+                        f"{sorted(GENERATORS)}") from None
+    return generator(scale=scale, **kwargs)
+
+
+def dataset_statistics(scale: str = "default") -> Dict[str, Dict[str, float]]:
+    """Regenerate Table 2: number of series and series length."""
+    stats = {}
+    partition_columns = {"sp500": "ticker", "covid19": "county",
+                         "weather": "city", "taxi": None, "nasdaq": None}
+    order = {"sp500": "tstamp", "covid19": "tstamp", "weather": "tstamp",
+             "taxi": "tstamp", "nasdaq": "tstamp"}
+    for name in GENERATORS:
+        table = load(name, scale=scale)
+        partition = partition_columns[name]
+        series_list = table.partition([partition] if partition else None,
+                                      order[name])
+        lengths = [len(s) for s in series_list]
+        stats[name] = {
+            "num_series": len(series_list),
+            "series_length": float(np.mean(lengths)),
+        }
+    return stats

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the T-ReX reproduction.
+
+Every error raised by the library derives from :class:`TRexError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish parse-time, bind-time, plan-time and run-time problems.
+"""
+
+from __future__ import annotations
+
+
+class TRexError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QuerySyntaxError(TRexError):
+    """The query text could not be tokenized or parsed.
+
+    Carries the 1-based line/column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class BindError(TRexError):
+    """The query parsed but is semantically invalid.
+
+    Examples: a pattern uses a variable with no definition and no implicit
+    ``true`` default allowed, a condition references an unknown variable or
+    column, an aggregate name is not registered.
+    """
+
+
+class PlanError(TRexError):
+    """No valid physical plan exists for the query.
+
+    The usual cause is an unsatisfiable reference dependency (e.g. truly
+    cyclic references that even Filter-lifting cannot resolve).
+    """
+
+
+class ExecutionError(TRexError):
+    """A physical operator failed while evaluating a query."""
+
+
+class QueryTimeout(ExecutionError):
+    """Query execution exceeded the engine's deadline."""
+
+
+class DataError(TRexError):
+    """Input data is malformed (unsorted timestamps, ragged columns, ...)."""
+
+
+class AggregateError(TRexError):
+    """An aggregate was called with invalid arguments or is unknown."""

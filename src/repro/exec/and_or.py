@@ -1,0 +1,168 @@
+"""And / Or physical operators (Section 4.3).
+
+An ``And`` joins segments with *identical* positions; the search space is
+passed to children unchanged.  Probe variants collapse the probed child's
+space to the exact segment produced by the other child — the paper's key
+pruning device for conjunctions (e.g. DIFF pruning DOWN).
+
+An ``Or`` unions both children's emissions; no probe variant exists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.exec.base import (Env, ExecContext, PhysicalOperator, dedupe,
+                             refs_key)
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+class _BinaryAnd(PhysicalOperator):
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish, requires=requires)
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _join(self, ctx: ExecContext, sp: SearchSpace, left: Segment,
+              right: Segment) -> Iterator[Segment]:
+        # Bounds already equal by construction; re-check space and window.
+        if not sp.contains(left.start, left.end):
+            return
+        if not self.window.accepts(ctx.series, left.start, left.end):
+            return
+        payload = dict(left.payload)
+        payload.update(right.payload)
+        ctx.stats["segments_emitted"] += 1
+        yield self.emit(Segment(left.start, left.end, payload))
+
+
+class SortMergeAnd(_BinaryAnd):
+    """Evaluate both children once, join segments with identical bounds."""
+
+    name = "SortMergeAnd"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            lefts = list(self.left.eval(ctx, sp, refs))
+            if not lefts:
+                return  # early termination
+            by_bounds: Dict[Tuple[int, int], List[Segment]] = defaultdict(list)
+            for left in lefts:
+                by_bounds[left.bounds].append(left)
+            for right in self.right.eval(ctx, sp, refs):
+                for left in by_bounds.get(right.bounds, ()):
+                    yield from self._join(ctx, sp, left, right)
+
+        yield from dedupe(generate())
+
+
+class RightProbeAnd(_BinaryAnd):
+    """Enumerate the left child; probe the right with the exact segment."""
+
+    name = "RightProbeAnd"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            needed = self.right.requires
+            for left in self.left.eval(ctx, sp, refs):
+                ctx.tick()
+                probe = SearchSpace.exact(left.start, left.end)
+                child_refs = dict(refs)
+                child_refs.update(left.payload)
+                key = (self.right.op_id, probe, refs_key(child_refs, needed))
+                rights = ctx.probe_cache_get(key)
+                if rights is None:
+                    ctx.stats["probe_calls"] += 1
+                    rights = list(self.right.eval(ctx, probe, child_refs))
+                    ctx.probe_cache_put(key, rights)
+                for right in rights:
+                    yield from self._join(ctx, sp, left, right)
+
+        yield from dedupe(generate())
+
+
+class LeftProbeAnd(_BinaryAnd):
+    """Enumerate the right child; probe the left with the exact segment."""
+
+    name = "LeftProbeAnd"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            needed = self.left.requires
+            for right in self.right.eval(ctx, sp, refs):
+                ctx.tick()
+                probe = SearchSpace.exact(right.start, right.end)
+                child_refs = dict(refs)
+                child_refs.update(right.payload)
+                key = (self.left.op_id, probe, refs_key(child_refs, needed))
+                lefts = ctx.probe_cache_get(key)
+                if lefts is None:
+                    ctx.stats["probe_calls"] += 1
+                    lefts = list(self.left.eval(ctx, probe, child_refs))
+                    ctx.probe_cache_put(key, lefts)
+                for left in lefts:
+                    yield from self._join(ctx, sp, right, left)
+
+        yield from dedupe(generate())
+
+
+class SortMergeOr(PhysicalOperator):
+    """Union of both children's matches within the search space."""
+
+    name = "SortMergeOr"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish, requires=requires)
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            for child in (self.left, self.right):
+                for segment in child.eval(ctx, sp, refs):
+                    if not self.window.accepts(ctx.series, segment.start,
+                                               segment.end):
+                        continue
+                    ctx.stats["segments_emitted"] += 1
+                    yield self.emit(segment)
+
+        yield from dedupe(generate())

@@ -1,0 +1,222 @@
+"""Physical operator interface and execution context (Section 4.1).
+
+Every physical operator implements ``eval(ctx, sp, refs)`` producing an
+iterator of :class:`Segment` objects whose bounds lie inside the search
+space ``sp`` and satisfy the operator's embedded window.  ``refs`` carries
+referenced segments needed by conditions inside the operator's sub-tree.
+
+The :class:`ExecContext` owns everything shared across one series
+evaluation: the series itself, aggregate index caches (computation
+sharing), probe-result caches, and run-statistics counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.aggregates.base import Aggregate, AggregateIndex
+from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
+from repro.errors import ExecutionError, QueryTimeout
+from repro.lang import expr as E
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+from repro.timeseries.series import Series
+
+Env = Dict[str, Tuple[int, int]]
+
+_op_ids = itertools.count()
+
+
+class IndexedProvider(E.AggregateProvider):
+    """Aggregate provider that uses shared indexes when possible.
+
+    An aggregate call is answered from an index when the aggregate supports
+    indexing and all of its column arguments resolve to the *current*
+    segment (cross-segment calls like ``corr`` always evaluate directly).
+    Indexes are built once per (series, call signature) and cached on the
+    execution context.
+    """
+
+    def __init__(self, ctx: "ExecContext"):
+        super().__init__(ctx.registry)
+        self._ctx = ctx
+
+    def evaluate(self, agg: Aggregate, call: E.AggCall, ectx: E.EvalContext,
+                 segments: Sequence[Tuple[str, int, int]]) -> float:
+        same_segment = all(start == ectx.start and end == ectx.end
+                           for _, start, end in segments)
+        if agg.supports_index and same_segment and not getattr(
+                agg, "needs_series_context", False):
+            extra = tuple(E.as_number(E.evaluate(e, ectx)) for e in call.extra)
+            index = self._ctx.aggregate_index(agg, call, extra)
+            self._ctx.stats["index_lookups"] += 1
+            return index.lookup(ectx.start, ectx.end)
+        self._ctx.stats["direct_agg_evals"] += 1
+        return super().evaluate(agg, call, ectx, segments)
+
+
+class CountingProvider(E.AggregateProvider):
+    """Direct-evaluation provider that counts calls for run statistics."""
+
+    def __init__(self, ctx: "ExecContext"):
+        super().__init__(ctx.registry)
+        self._ctx = ctx
+
+    def evaluate(self, agg, call, ectx, segments):
+        self._ctx.stats["direct_agg_evals"] += 1
+        return super().evaluate(agg, call, ectx, segments)
+
+
+class ExecContext:
+    """Shared state for evaluating one physical plan over one series."""
+
+    #: How many tick() calls between deadline checks.
+    TICK_STRIDE = 2048
+
+    def __init__(self, series: Series,
+                 registry: AggregateRegistry = DEFAULT_REGISTRY,
+                 deadline: Optional[float] = None):
+        self.series = series
+        self.registry = registry
+        self.stats: Counter = Counter()
+        self._indexes: Dict[tuple, AggregateIndex] = {}
+        self._probe_caches: Dict[tuple, List[Segment]] = {}
+        self.direct_provider = CountingProvider(self)
+        self.indexed_provider = IndexedProvider(self)
+        #: Absolute time.perf_counter() deadline, or None for no limit.
+        self.deadline = deadline
+        self._ticks = 0
+
+    def tick(self) -> None:
+        """Cheap cooperative cancellation point for hot loops.
+
+        Raises :class:`QueryTimeout` when the engine deadline has passed;
+        the clock is only consulted every :attr:`TICK_STRIDE` calls.
+        """
+        if self.deadline is None:
+            return
+        self._ticks += 1
+        if self._ticks % self.TICK_STRIDE == 0 and \
+                time.perf_counter() > self.deadline:
+            raise QueryTimeout(
+                f"query exceeded its deadline after {self._ticks} steps")
+
+    def aggregate_index(self, agg: Aggregate, call: E.AggCall,
+                        extra: Tuple[float, ...]) -> AggregateIndex:
+        """Get or build the shared index for one aggregate call signature."""
+        key = (agg.name, tuple((c.column) for c in call.columns), extra)
+        index = self._indexes.get(key)
+        if index is None:
+            columns = [self.series.column(ref.column) for ref in call.columns]
+            index = agg.build_index(columns, list(extra))
+            self._indexes[key] = index
+            self.stats["index_builds"] += 1
+        return index
+
+    def prebuild_indexes(self, calls: Sequence[E.AggCall]) -> None:
+        """Eagerly build indexes for the given calls (baseline sharing)."""
+        for call in calls:
+            agg = self.registry.get(call.name)
+            if not agg.supports_index or getattr(agg, "needs_series_context",
+                                                 False):
+                continue
+            extra = tuple(
+                E.as_number(E.evaluate(e, E.EvalContext(
+                    self.series, 0, 0, registry=self.registry)))
+                for e in call.extra)
+            self.aggregate_index(agg, call, extra).materialize_all()
+
+    def probe_cache_get(self, key: tuple) -> Optional[List[Segment]]:
+        return self._probe_caches.get(key)
+
+    def probe_cache_put(self, key: tuple, value: List[Segment]) -> None:
+        self._probe_caches[key] = value
+
+
+def refs_key(refs: Env, needed: FrozenSet[str]) -> tuple:
+    """Hashable cache-key projection of ``refs`` to the needed names."""
+    return tuple(sorted((name, refs[name]) for name in needed
+                        if name in refs))
+
+
+class PhysicalOperator(ABC):
+    """Base physical operator.
+
+    ``window`` is the embedded window the emitted segments must satisfy;
+    ``publish`` is the set of variable names whose matched segments must be
+    present in emitted payloads (needed by consumers above); ``requires``
+    is the set of external references conditions in this sub-tree need.
+    """
+
+    #: Human-readable operator name for EXPLAIN output.
+    name = "op"
+
+    def __init__(self, window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        self.window = window
+        self.publish = publish
+        self.requires = requires
+        self.op_id = next(_op_ids)
+
+    @abstractmethod
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        """Yield matching segments within ``sp`` given referenced segments."""
+
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        return ()
+
+    def check_refs(self, refs: Env) -> None:
+        missing = set(self.requires) - set(refs)
+        if missing:
+            raise ExecutionError(
+                f"{self.name} needs referenced segments {sorted(missing)} "
+                f"but they were not provided")
+
+    def emit(self, segment: Segment) -> Segment:
+        """Project the payload to what consumers above still need."""
+        return segment.project_payload(self.publish)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        window = "" if self.window.is_wild else f" [{self.window.describe()}]"
+        lines = [f"{pad}{self.describe()}{window}"]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return self.name
+
+    def to_dict(self) -> dict:
+        """JSON-serializable plan representation (for tooling/EXPLAIN)."""
+        node = {"operator": self.describe()}
+        if not self.window.is_wild:
+            node["window"] = self.window.describe()
+        if self.publish:
+            node["publish"] = sorted(self.publish)
+        if self.requires:
+            node["requires"] = sorted(self.requires)
+        children = [child.to_dict() for child in self.children()]
+        if children:
+            node["children"] = children
+        return node
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+def dedupe(segments: Iterator[Segment]) -> Iterator[Segment]:
+    """Drop duplicate (bounds, payload) emissions."""
+    seen = set()
+    for segment in segments:
+        key = (segment.start, segment.end, segment.payload_key())
+        if key not in seen:
+            seen.add(key)
+            yield segment

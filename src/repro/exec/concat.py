@@ -1,0 +1,221 @@
+"""Concatenation physical operators (Sections 4.3, 4.5.2).
+
+``gap`` is the join offset between the left segment's end and the right
+segment's start: 0 for shared-boundary joins (segments involved), 1 for the
+classic disjoint point-variable join.
+
+* :class:`SortMergeConcat` evaluates both children once over expanded
+  search spaces and merge-joins on the boundary;
+* :class:`RightProbeConcat` / :class:`LeftProbeConcat` evaluate one child
+  and *probe* the other with a search space collapsed to the join point —
+  additionally tightened by the embedded window anchored at the known
+  segment end/start, which is where search-space pruning pays off;
+* :class:`WildWindowConcat` (WConcat) fuses the ``X W Y`` chain around a
+  window-only padding variable, pairing X and Y directly without
+  materializing the padding segments.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterator, List
+
+from repro.exec.base import (Env, ExecContext, PhysicalOperator, dedupe,
+                             refs_key)
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+class _BinaryConcat(PhysicalOperator):
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 gap: int, window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish, requires=requires)
+        self.left = left
+        self.right = right
+        self.gap = gap
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _join(self, ctx: ExecContext, sp: SearchSpace, left: Segment,
+              right: Segment) -> Iterator[Segment]:
+        start, end = left.start, right.end
+        if not sp.contains(start, end):
+            return
+        if not self.window.accepts(ctx.series, start, end):
+            return
+        payload = dict(left.payload)
+        payload.update(right.payload)
+        ctx.stats["segments_emitted"] += 1
+        yield self.emit(Segment(start, end, payload))
+
+    def describe(self) -> str:
+        return f"{self.name}(gap={self.gap})"
+
+
+class SortMergeConcat(_BinaryConcat):
+    """Evaluate both children independently, join on the boundary point."""
+
+    name = "SortMergeConcat"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            lefts = list(self.left.eval(ctx, sp.concat_left(self.gap), refs))
+            if not lefts:
+                return  # early termination: no need to evaluate the right
+            by_end: Dict[int, List[Segment]] = defaultdict(list)
+            for left in lefts:
+                by_end[left.end].append(left)
+            for right in self.right.eval(ctx, sp.concat_right(self.gap),
+                                         refs):
+                for left in by_end.get(right.start - self.gap, ()):
+                    yield from self._join(ctx, sp, left, right)
+
+        yield from dedupe(generate())
+
+
+class RightProbeConcat(_BinaryConcat):
+    """Enumerate the left child; probe the right at each boundary."""
+
+    name = "RightProbeConcat"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            needed = self.right.requires
+            for left in self.left.eval(ctx, sp.concat_left(self.gap), refs):
+                ctx.tick()
+                # The result spans [left.start, e]: tighten the probed end
+                # range with the embedded window anchored at left.start.
+                e_lo, e_hi = self.window.end_range(ctx.series, left.start)
+                probe = SearchSpace(left.end + self.gap, left.end + self.gap,
+                                    max(sp.e_lo, e_lo), min(sp.e_hi, e_hi))
+                if probe.is_empty():
+                    continue
+                child_refs = dict(refs)
+                child_refs.update(left.payload)
+                key = (self.right.op_id, probe,
+                       refs_key(child_refs, needed))
+                rights = ctx.probe_cache_get(key)
+                if rights is None:
+                    ctx.stats["probe_calls"] += 1
+                    rights = list(self.right.eval(ctx, probe, child_refs))
+                    ctx.probe_cache_put(key, rights)
+                for right in rights:
+                    yield from self._join(ctx, sp, left, right)
+
+        yield from dedupe(generate())
+
+
+class LeftProbeConcat(_BinaryConcat):
+    """Enumerate the right child; probe the left at each boundary."""
+
+    name = "LeftProbeConcat"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            needed = self.left.requires
+            for right in self.right.eval(ctx, sp.concat_right(self.gap),
+                                         refs):
+                ctx.tick()
+                s_lo, s_hi = self.window.start_range(ctx.series, right.end)
+                probe = SearchSpace(max(sp.s_lo, s_lo), min(sp.s_hi, s_hi),
+                                    right.start - self.gap,
+                                    right.start - self.gap)
+                if probe.is_empty():
+                    continue
+                child_refs = dict(refs)
+                child_refs.update(right.payload)
+                key = (self.left.op_id, probe, refs_key(child_refs, needed))
+                lefts = ctx.probe_cache_get(key)
+                if lefts is None:
+                    ctx.stats["probe_calls"] += 1
+                    lefts = list(self.left.eval(ctx, probe, child_refs))
+                    ctx.probe_cache_put(key, lefts)
+                for left in lefts:
+                    yield from self._join(ctx, sp, left, right)
+
+        yield from dedupe(generate())
+
+
+class WildWindowConcat(PhysicalOperator):
+    """Fused ``X PAD Y`` concatenation around a window-only padding variable.
+
+    Pairs X segments with Y segments directly: a pair joins when the
+    implicit padding segment ``[x.end, y.start]`` satisfies the padding
+    window.  Avoids materializing the (potentially huge) padding segments.
+    """
+
+    name = "WildWindowConcat"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 pad_window: WindowConjunction, window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish, requires=requires)
+        self.left = left
+        self.right = right
+        self.pad_window = pad_window
+
+    def children(self):
+        return (self.left, self.right)
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+
+        def generate() -> Iterator[Segment]:
+            left_sp = SearchSpace(sp.s_lo, sp.s_hi, sp.s_lo, sp.e_hi)
+            lefts = list(self.left.eval(ctx, left_sp, refs))
+            if not lefts:
+                return
+            right_sp = SearchSpace(sp.s_lo, sp.e_hi, sp.e_lo, sp.e_hi)
+            rights = sorted(self.right.eval(ctx, right_sp, refs),
+                            key=lambda seg: seg.start)
+            if not rights:
+                return
+            starts = [seg.start for seg in rights]
+            for left in lefts:
+                # Admissible pad end positions (= right start positions).
+                pad_lo, pad_hi = self.pad_window.end_range(ctx.series,
+                                                           left.end)
+                # Result end range from the embedded window.
+                e_lo, e_hi = self.window.end_range(ctx.series, left.start)
+                lo_index = bisect.bisect_left(starts, pad_lo)
+                hi_index = bisect.bisect_right(starts, pad_hi)
+                for right in rights[lo_index:hi_index]:
+                    start, end = left.start, right.end
+                    if end < max(sp.e_lo, e_lo) or end > min(sp.e_hi, e_hi):
+                        continue
+                    if not sp.contains(start, end):
+                        continue
+                    payload = dict(left.payload)
+                    payload.update(right.payload)
+                    ctx.stats["segments_emitted"] += 1
+                    yield self.emit(Segment(start, end, payload))
+
+        yield from dedupe(generate())

@@ -1,0 +1,114 @@
+"""Kleene physical operator (Section 4.4.3).
+
+:class:`MaterializeKleene` evaluates its child once, hashes the child's
+segments by start position, and assembles "linked" chains with a
+breadth-first search.  Window-awareness is what makes it fast on long
+series (the OpenCEP_Q2 analysis in Section 6.3): the embedded window bounds
+each chain's end range from its start position, so chains are pruned as
+soon as they out-span the window.
+
+Chains deduplicate on ``(end, reps)`` states, which keeps the search
+polynomial even when exponentially many decompositions exist.  Payloads of
+chain members are not tracked (references *into* a Kleene body are
+rejected by the planner's validator, matching the paper's scoping).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.exec.base import Env, ExecContext, PhysicalOperator
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+class MaterializeKleene(PhysicalOperator):
+    """Assemble repeated child matches into Kleene chains."""
+
+    name = "MaterializeKleene"
+
+    def __init__(self, child: PhysicalOperator, min_reps: int,
+                 max_reps: Optional[int], gap: int,
+                 window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset(),
+                 window_aware: bool = True):
+        super().__init__(window, publish=publish, requires=requires)
+        if min_reps < 1:
+            raise ValueError(
+                "MaterializeKleene requires a minimum of one repetition; "
+                "rewrite zero-minimum quantifiers (see DESIGN.md)")
+        self.child = child
+        self.min_reps = min_reps
+        self.max_reps = max_reps
+        self.gap = gap
+        # window_aware=False models the ZStream/OpenCEP behaviour analysed
+        # in Section 6.3: chains are only window-checked at emission, so the
+        # BFS explores the full span regardless of the window bound.
+        self.window_aware = window_aware
+
+    def children(self):
+        return (self.child,)
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+        child_sp = sp.kleene_child()
+        by_start: Dict[int, List[int]] = defaultdict(list)
+        for segment in self.child.eval(ctx, child_sp, refs):
+            if self.gap == 0 and segment.duration == 0:
+                # A zero-duration link makes no progress under shared
+                # boundaries; skip it to guarantee termination.
+                continue
+            by_start[segment.start].append(segment.end)
+
+        series = ctx.series
+        for start in range(sp.s_lo, sp.s_hi + 1):
+            if start not in by_start:
+                continue
+            # Window pruning: the furthest end a chain from `start` may reach.
+            if self.window_aware:
+                w_lo, w_hi = self.window.end_range(series, start)
+                e_hi = min(w_hi, sp.e_hi)
+                e_lo = max(w_lo, sp.e_lo)
+            else:
+                e_hi = sp.e_hi
+                e_lo = sp.e_lo
+            visited: Set[Tuple[int, int]] = set()
+            emitted: Set[int] = set()
+            queue = deque()
+            for end in by_start[start]:
+                if end <= e_hi:
+                    state = (end, 1)
+                    if state not in visited:
+                        visited.add(state)
+                        queue.append(state)
+            while queue:
+                ctx.tick()
+                end, reps = queue.popleft()
+                if (reps >= self.min_reps and e_lo <= end <= e_hi
+                        and end not in emitted
+                        and self.window.accepts(series, start, end)
+                        and sp.contains(start, end)):
+                    emitted.add(end)
+                    ctx.stats["segments_emitted"] += 1
+                    yield self.emit(Segment(start, end))
+                if self.max_reps is not None and reps >= self.max_reps:
+                    continue
+                next_start = end + self.gap
+                for next_end in by_start.get(next_start, ()):
+                    if next_end > e_hi:
+                        continue
+                    state = (next_end, reps + 1)
+                    if state not in visited:
+                        visited.add(state)
+                        queue.append(state)
+
+    def describe(self) -> str:
+        hi = "inf" if self.max_reps is None else self.max_reps
+        return f"{self.name}{{{self.min_reps},{hi}}}(gap={self.gap})"

@@ -1,0 +1,76 @@
+"""Not physical operators (Section 4.4.2).
+
+Both emit the windowed segments of the search space that the child does
+*not* match.  :class:`MaterializeNot` evaluates the child once over the
+whole space and emits the complement; :class:`ProbeNot` probes the child
+per candidate segment with an exact search space, closing the child's
+iterator after the first hit.  The optimizer picks between them based on
+the number of candidates (Figure 10).
+
+Thanks to the ``refs`` argument, the negated sub-pattern may freely
+reference variables matched outside the Not — no post-processing needed.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Set, Tuple
+
+from repro.exec.base import Env, ExecContext, PhysicalOperator
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+class _NotBase(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset(),
+                 requires: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish, requires=requires)
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+
+class MaterializeNot(_NotBase):
+    """Materialize all child matches, emit the windowed complement."""
+
+    name = "MaterializeNot"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+        matched: Set[Tuple[int, int]] = {
+            segment.bounds
+            for segment in self.child.eval(ctx, sp, refs)
+        }
+        for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
+                                              sp.e_lo, sp.e_hi):
+            if (start, end) not in matched:
+                ctx.stats["segments_emitted"] += 1
+                yield Segment(start, end)
+
+
+class ProbeNot(_NotBase):
+    """Probe the child once per windowed candidate segment."""
+
+    name = "ProbeNot"
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+        for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
+                                              sp.e_lo, sp.e_hi):
+            probe = SearchSpace.exact(start, end)
+            ctx.stats["probe_calls"] += 1
+            # The iterator is closed after the first hit (cheap negation).
+            hit = next(iter(self.child.eval(ctx, probe, refs)), None)
+            if hit is None:
+                ctx.stats["segments_emitted"] += 1
+                yield Segment(start, end)

@@ -1,0 +1,111 @@
+"""Segment Generators — leaf physical operators (Section 4.2).
+
+* :class:`SegGenWindow` emits every windowed segment in the search space
+  (window-only variables, e.g. wild padding ``W``);
+* :class:`SegGenFilter` additionally evaluates the embedded variable's
+  condition directly per segment;
+* :class:`SegGenIndexing` evaluates the condition through shared aggregate
+  indexes (``index()``/``lookup()``), amortizing aggregate work across
+  overlapping segments.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator
+
+from repro.exec.base import Env, ExecContext, PhysicalOperator
+from repro.lang import expr as E
+from repro.lang.query import VarDef
+from repro.lang.windows import WindowConjunction
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+class SegGenWindow(PhysicalOperator):
+    """Emit all windowed segments in the search space (no condition)."""
+
+    name = "SegGenWindow"
+
+    def __init__(self, window: WindowConjunction, var_name: str = "",
+                 publish: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish)
+        self.var_name = var_name
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+        payload_name = self.var_name if self.var_name in self.publish else None
+        for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
+                                              sp.e_lo, sp.e_hi):
+            ctx.tick()
+            ctx.stats["segments_emitted"] += 1
+            if payload_name is not None:
+                yield Segment(start, end, {payload_name: (start, end)})
+            else:
+                yield Segment(start, end)
+
+    def describe(self) -> str:
+        label = f"({self.var_name})" if self.var_name else ""
+        return f"{self.name}{label}"
+
+
+class _ConditionLeaf(PhysicalOperator):
+    """Shared plumbing for condition-evaluating leaves."""
+
+    def __init__(self, var: VarDef, window: WindowConjunction,
+                 publish: FrozenSet[str] = frozenset()):
+        super().__init__(window, publish=publish,
+                         requires=frozenset(var.external_refs))
+        self.var = var
+
+    def _provider(self, ctx: ExecContext) -> E.AggregateProvider:
+        raise NotImplementedError
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterator[Segment]:
+        self.check_refs(refs)
+        sp = sp.clamp(len(ctx.series))
+        if sp.is_empty():
+            return
+        provider = self._provider(ctx)
+        var = self.var
+        is_point = not var.is_segment
+        publish_self = var.name in self.publish
+        for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
+                                              sp.e_lo, sp.e_hi):
+            ctx.tick()
+            if is_point and start != end:
+                continue
+            ectx = E.EvalContext(ctx.series, start, end, variable=var.name,
+                                 refs=refs, provider=provider,
+                                 registry=ctx.registry)
+            ctx.stats["condition_evals"] += 1
+            if E.evaluate_condition(var.condition, ectx):
+                ctx.stats["segments_emitted"] += 1
+                if publish_self:
+                    yield Segment(start, end, {var.name: (start, end)})
+                else:
+                    yield Segment(start, end)
+
+    def describe(self) -> str:
+        return f"{self.name}({self.var.name})"
+
+
+class SegGenFilter(_ConditionLeaf):
+    """Leaf that evaluates the variable's condition directly per segment."""
+
+    name = "SegGenFilter"
+
+    def _provider(self, ctx: ExecContext) -> E.AggregateProvider:
+        return ctx.direct_provider
+
+
+class SegGenIndexing(_ConditionLeaf):
+    """Leaf that answers aggregate conditions from shared indexes."""
+
+    name = "SegGenIndexing"
+
+    def _provider(self, ctx: ExecContext) -> E.AggregateProvider:
+        return ctx.indexed_provider

@@ -1,0 +1,12 @@
+"""The extended MATCH_RECOGNIZE language: lexer, parser, AST, binder.
+
+The typical entry point is :func:`repro.lang.query.compile_query`, which
+parses and binds a query text (with parameters) into a validated
+:class:`repro.lang.query.Query`.
+"""
+
+from repro.lang.query import Query, VarDef, compile_query
+from repro.lang.windows import WILD, WindowConjunction, WindowSpec
+
+__all__ = ["Query", "VarDef", "compile_query", "WILD", "WindowConjunction",
+           "WindowSpec"]

@@ -1,0 +1,475 @@
+"""Boolean/arithmetic condition expressions for ``DEFINE`` clauses.
+
+The expression language covers everything Appendix E's queries need:
+
+* literals, query parameters (``:name``),
+* column references — bare ``temp`` (current variable's segment) or
+  qualified ``UP.temp`` (the current variable, or a *reference* to another
+  variable's matched segment delivered through ``refs``),
+* ``first(expr_over_column)`` / ``last(...)`` point accessors,
+* aggregate calls (``linear_reg_r2_signed(tstamp, price)``, ...),
+* arithmetic (``+ - * /``), comparisons (``< <= > >= = != <>``),
+  ``BETWEEN ... AND ...`` and boolean ``AND`` / ``OR`` / ``NOT``.
+
+Expressions are immutable trees.  Evaluation happens against an
+:class:`EvalContext` that knows the series, the current segment, the current
+variable name and any referenced segments; aggregate evaluation is delegated
+to a pluggable provider so the executor can swap in shared indexes
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
+from repro.errors import BindError, ExecutionError
+
+
+class Expr:
+    """Base class for expression nodes (immutable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant (number, string or boolean)."""
+
+    value: object
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A query parameter ``:name``, substituted at bind time."""
+
+    name: str
+
+    def __repr__(self):
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A column reference, optionally qualified by a variable name."""
+
+    variable: Optional[str]
+    column: str
+
+    def __repr__(self):
+        if self.variable:
+            return f"{self.variable}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class PointAccess(Expr):
+    """``first(col)`` / ``last(col)`` over a segment."""
+
+    which: str  # 'first' or 'last'
+    arg: ColumnRef
+
+    def __repr__(self):
+        return f"{self.which}({self.arg!r})"
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """An aggregate call over column arguments plus scalar extras."""
+
+    name: str
+    columns: Tuple[ColumnRef, ...]
+    extra: Tuple[Expr, ...] = ()
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.columns + self.extra)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary minus or boolean NOT."""
+
+    op: str  # '-' or 'not'
+    operand: Expr
+
+    def __repr__(self):
+        return f"({self.op} {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary arithmetic/comparison/boolean operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN lo AND hi`` (inclusive)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def __repr__(self):
+        return f"({self.operand!r} between {self.low!r} and {self.high!r})"
+
+
+@dataclass(frozen=True)
+class Interval(Expr):
+    """An ``INTERVAL '5' DAY`` literal.
+
+    Evaluates to the duration expressed in the *series'* native time unit,
+    so ``tstamp - first(D.tstamp) <= INTERVAL '5' DAY`` works regardless of
+    whether timestamps count days, hours or seconds.
+    """
+
+    value: float
+    unit: str
+
+    def __repr__(self):
+        return f"INTERVAL '{self.value:g}' {self.unit}"
+
+
+@dataclass(frozen=True)
+class WindowCall(Expr):
+    """A ``window(...)`` constraint appearing in a DEFINE condition.
+
+    Kept opaque at parse time; the binder interprets the argument shape
+    (point/time, bounded/fixed/wild) into a :class:`WindowSpec` and pulls it
+    out of the residual Boolean condition.  A window call may only appear as
+    a top-level conjunct of a definition.
+    """
+
+    args: Tuple[Expr, ...]
+
+    def __repr__(self):
+        return "window(" + ", ".join(repr(a) for a in self.args) + ")"
+
+
+TRUE = Literal(True)
+
+_ARITHMETIC: Dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else math.inf * (1 if a > 0 else -1 if a < 0 else 0),
+}
+
+_COMPARISON: Dict[str, Callable[[object, object], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+}
+
+
+def truthy(value: object) -> bool:
+    """SQL-ish truthiness: booleans as-is, numbers nonzero, else bool()."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0 and not (isinstance(value, float) and math.isnan(value))
+    return bool(value)
+
+
+class AggregateProvider:
+    """Strategy for evaluating aggregate calls.
+
+    The default provider evaluates directly over segment slices.  The
+    executor substitutes an index-aware provider for computation sharing.
+    """
+
+    def __init__(self, registry: AggregateRegistry = DEFAULT_REGISTRY):
+        self.registry = registry
+
+    def evaluate(self, agg: Aggregate, call: AggCall, ctx: "EvalContext",
+                 segments: Sequence[Tuple[str, int, int]]) -> float:
+        """Evaluate ``call`` where ``segments`` gives, per column argument,
+        the resolved ``(column, start, end)`` triple."""
+        if getattr(agg, "needs_series_context", False):
+            column, start, end = segments[0]
+            extra = [as_number(evaluate(e, ctx)) for e in call.extra]
+            return agg.evaluate_with_context(
+                ctx.series.column(column), start, end, extra)
+        arrays = [ctx.series.values(column, start, end)
+                  for column, start, end in segments]
+        extra = [as_number(evaluate(e, ctx)) for e in call.extra]
+        return agg.evaluate(arrays, extra)
+
+
+class EvalContext:
+    """Everything needed to evaluate an expression over one segment."""
+
+    __slots__ = ("series", "start", "end", "variable", "refs", "provider",
+                 "registry")
+
+    def __init__(self, series, start: int, end: int,
+                 variable: Optional[str] = None,
+                 refs: Optional[Dict[str, Tuple[int, int]]] = None,
+                 provider: Optional[AggregateProvider] = None,
+                 registry: AggregateRegistry = DEFAULT_REGISTRY):
+        self.series = series
+        self.start = start
+        self.end = end
+        self.variable = variable
+        self.refs = refs or {}
+        self.registry = registry
+        self.provider = provider or AggregateProvider(registry)
+
+    def resolve_segment(self, variable: Optional[str]) -> Tuple[int, int]:
+        """Segment addressed by a (possibly qualified) column reference."""
+        if variable is None or variable == self.variable:
+            return self.start, self.end
+        if variable in self.refs:
+            return self.refs[variable]
+        raise ExecutionError(
+            f"condition references variable {variable!r} but no matching "
+            f"segment was provided (current={self.variable!r}, "
+            f"refs={sorted(self.refs)})")
+
+
+def as_number(value: object) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise ExecutionError(f"expected a number, got {value!r}")
+
+
+def evaluate(expr: Expr, ctx: EvalContext) -> object:
+    """Evaluate an expression tree to a Python value."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Interval):
+        from repro.timeseries.timeunits import to_base_units
+        return to_base_units(expr.value, expr.unit, ctx.series.time_unit)
+    if isinstance(expr, WindowCall):
+        raise ExecutionError(
+            "window(...) must appear as a top-level conjunct of a DEFINE "
+            "condition; it cannot be evaluated as a value")
+    if isinstance(expr, Param):
+        raise ExecutionError(f"unbound parameter :{expr.name} at evaluation "
+                             f"time; bind the query with params first")
+    if isinstance(expr, ColumnRef):
+        start, end = ctx.resolve_segment(expr.variable)
+        # A bare column over a multi-point segment is only meaningful inside
+        # first()/last()/aggregates; standalone it denotes the last value
+        # (MATCH_RECOGNIZE "final" semantics for navigation-free references).
+        return ctx.series.value_at(expr.column, end if end is not None else start)
+    if isinstance(expr, PointAccess):
+        start, end = ctx.resolve_segment(expr.arg.variable)
+        index = start if expr.which == "first" else end
+        return ctx.series.value_at(expr.arg.column, index)
+    if isinstance(expr, AggCall):
+        agg = ctx.registry.get(expr.name)
+        segments = []
+        for ref in expr.columns:
+            start, end = ctx.resolve_segment(ref.variable)
+            segments.append((ref.column, start, end))
+        return ctx.provider.evaluate(agg, expr, ctx, segments)
+    if isinstance(expr, Unary):
+        value = evaluate(expr.operand, ctx)
+        if expr.op == "-":
+            return -as_number(value)
+        if expr.op == "not":
+            return not truthy(value)
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        if expr.op == "and":
+            return truthy(evaluate(expr.left, ctx)) and \
+                truthy(evaluate(expr.right, ctx))
+        if expr.op == "or":
+            return truthy(evaluate(expr.left, ctx)) or \
+                truthy(evaluate(expr.right, ctx))
+        left = evaluate(expr.left, ctx)
+        right = evaluate(expr.right, ctx)
+        if expr.op in _COMPARISON:
+            try:
+                # bool() strips numpy scalar types leaking from columns.
+                return bool(_COMPARISON[expr.op](left, right))
+            except TypeError:
+                raise ExecutionError(
+                    f"cannot compare {left!r} {expr.op} {right!r}") from None
+        if expr.op in _ARITHMETIC:
+            return _ARITHMETIC[expr.op](as_number(left), as_number(right))
+        raise ExecutionError(f"unknown binary operator {expr.op!r}")
+    if isinstance(expr, Between):
+        value = evaluate(expr.operand, ctx)
+        low = evaluate(expr.low, ctx)
+        high = evaluate(expr.high, ctx)
+        return low <= value <= high
+    raise ExecutionError(f"cannot evaluate expression node {expr!r}")
+
+
+def evaluate_condition(expr: Optional[Expr], ctx: EvalContext) -> bool:
+    """Evaluate a condition (``None`` means ``true``)."""
+    if expr is None:
+        return True
+    return truthy(evaluate(expr, ctx))
+
+
+# ---------------------------------------------------------------------------
+# Static analysis helpers
+# ---------------------------------------------------------------------------
+
+def walk(expr: Expr):
+    """Yield every node of the tree (pre-order)."""
+    yield expr
+    if isinstance(expr, WindowCall):
+        for child in expr.args:
+            yield from walk(child)
+    elif isinstance(expr, PointAccess):
+        yield from walk(expr.arg)
+    elif isinstance(expr, AggCall):
+        for child in expr.columns + expr.extra:
+            yield from walk(child)
+    elif isinstance(expr, Unary):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, Between):
+        yield from walk(expr.operand)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+
+
+def referenced_variables(expr: Optional[Expr]) -> FrozenSet[str]:
+    """All variable names qualifying column references in the tree."""
+    if expr is None:
+        return frozenset()
+    names = set()
+    for node in walk(expr):
+        if isinstance(node, ColumnRef) and node.variable:
+            names.add(node.variable)
+    return frozenset(names)
+
+
+def external_references(expr: Optional[Expr], self_name: str) -> FrozenSet[str]:
+    """Variables other than ``self_name`` referenced by the condition."""
+    return frozenset(name for name in referenced_variables(expr)
+                     if name != self_name)
+
+
+def aggregate_calls(expr: Optional[Expr]) -> List[AggCall]:
+    """All aggregate calls in the tree (document order)."""
+    if expr is None:
+        return []
+    return [node for node in walk(expr) if isinstance(node, AggCall)]
+
+
+def columns_used(expr: Optional[Expr]) -> FrozenSet[str]:
+    if expr is None:
+        return frozenset()
+    return frozenset(node.column for node in walk(expr)
+                     if isinstance(node, ColumnRef))
+
+
+def parameters_used(expr: Optional[Expr]) -> FrozenSet[str]:
+    if expr is None:
+        return frozenset()
+    return frozenset(node.name for node in walk(expr)
+                     if isinstance(node, Param))
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Bottom-up rewrite: ``fn`` may return a replacement node or ``None``."""
+    if isinstance(expr, WindowCall):
+        rebuilt_args = tuple(transform(a, fn) for a in expr.args)
+        replacement = fn(WindowCall(rebuilt_args))
+        return WindowCall(rebuilt_args) if replacement is None else replacement
+    if isinstance(expr, PointAccess):
+        arg = transform(expr.arg, fn)
+        if not isinstance(arg, ColumnRef):
+            raise BindError(f"{expr.which}() argument must stay a column "
+                            f"reference after rewriting")
+        rebuilt: Expr = PointAccess(expr.which, arg)
+    elif isinstance(expr, AggCall):
+        columns = tuple(transform(c, fn) for c in expr.columns)
+        extra = tuple(transform(e, fn) for e in expr.extra)
+        for col in columns:
+            if not isinstance(col, ColumnRef):
+                raise BindError("aggregate column arguments must stay column "
+                                "references after rewriting")
+        rebuilt = AggCall(expr.name, columns, extra)
+    elif isinstance(expr, Unary):
+        rebuilt = Unary(expr.op, transform(expr.operand, fn))
+    elif isinstance(expr, Binary):
+        rebuilt = Binary(expr.op, transform(expr.left, fn),
+                         transform(expr.right, fn))
+    elif isinstance(expr, Between):
+        rebuilt = Between(transform(expr.operand, fn),
+                          transform(expr.low, fn), transform(expr.high, fn))
+    else:
+        rebuilt = expr
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def substitute_params(expr: Optional[Expr],
+                      params: Dict[str, object]) -> Optional[Expr]:
+    """Replace every :class:`Param` with its literal value.
+
+    Raises :class:`BindError` for parameters missing from ``params``.
+    """
+    if expr is None:
+        return None
+
+    def replace(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Param):
+            if node.name not in params:
+                raise BindError(f"missing value for parameter :{node.name}")
+            return Literal(params[node.name])
+        return None
+
+    return transform(expr, replace)
+
+
+def rename_variable(expr: Optional[Expr], old: str,
+                    new: str) -> Optional[Expr]:
+    """Rename qualified references from ``old`` to ``new`` (rewriter aid)."""
+    if expr is None:
+        return None
+
+    def replace(node: Expr) -> Optional[Expr]:
+        if isinstance(node, ColumnRef) and node.variable == old:
+            return ColumnRef(new, node.column)
+        return None
+
+    return transform(expr, replace)
+
+
+def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten top-level AND into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, Binary) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    if isinstance(expr, Literal) and expr.value is True:
+        return []
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expr]) -> Optional[Expr]:
+    """Rebuild an AND tree from a list of conjuncts (None when empty)."""
+    result: Optional[Expr] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else Binary("and", result, conjunct)
+    return result

@@ -1,0 +1,145 @@
+"""Appendix A machinery: reducing patterns to special-pattern alternations.
+
+Lemma A.1 states that any point-variable pattern built from Concatenation,
+Alternation and Kleene operators reduces to an alternation
+``(A_1 | A_2 | ... | A_l)`` of *special patterns* — plain concatenations of
+point variables — by enumerating the paths of the pattern's NFA, safely
+truncated at the series length since each point variable consumes one
+distinct record.  This module implements that construction; it is the
+constructive core of the paper's expressiveness-equivalence proof
+(Theorem 2.3) and doubles as an executable sanity check: the alternation
+of special patterns must match exactly the segments the original pattern
+matches.
+
+Only point-variable patterns qualify (Proposition 2.1 removes segment
+variables first); ``And``/``Not`` reductions (Proposition 2.2) build on the
+special-pattern form as sketched in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import PlanError
+from repro.lang import pattern as P
+from repro.lang.query import Query
+
+#: A special pattern: a finite concatenation of point variables.
+SpecialPattern = Tuple[str, ...]
+
+
+def _check_point_only(pattern: P.Pattern, query: Query) -> None:
+    for node in P.walk(pattern):
+        if isinstance(node, P.VarRef) and query.var(node.name).is_segment:
+            raise PlanError(
+                f"special-pattern reduction applies to point-variable "
+                f"patterns; {node.name!r} is a segment variable "
+                f"(apply Proposition 2.1 / the rewriter first)")
+        if isinstance(node, (P.And, P.Not)):
+            raise PlanError(
+                "special-pattern reduction (Lemma A.1) covers the standard "
+                "MATCH_RECOGNIZE operators; eliminate And/Not first "
+                "(Proposition 2.2)")
+
+
+def enumerate_special_patterns(pattern: P.Pattern, query: Query,
+                               max_length: int,
+                               limit: int = 100_000) -> List[SpecialPattern]:
+    """All special patterns of length ≤ ``max_length`` equivalent to
+    ``pattern`` (Lemma A.1).
+
+    ``max_length`` plays the role of the series length *n* in the lemma:
+    every point variable consumes a distinct record, so longer paths can
+    never match.  ``limit`` guards against combinatorial explosions.
+    """
+    _check_point_only(pattern, query)
+    results: List[SpecialPattern] = []
+    seen = set()
+
+    def expand(node: P.Pattern,
+               prefix: Tuple[str, ...]) -> List[Tuple[str, ...]]:
+        """All variable sequences of ``prefix + node`` within max_length."""
+        if len(results) > limit:
+            raise PlanError(f"special-pattern enumeration exceeded {limit} "
+                            f"paths")
+        if len(prefix) > max_length:
+            return []
+        if isinstance(node, P.VarRef):
+            extended = prefix + (node.name,)
+            return [extended] if len(extended) <= max_length else []
+        if isinstance(node, P.Concat):
+            sequences = [prefix]
+            for part in node.parts:
+                next_sequences: List[Tuple[str, ...]] = []
+                for sequence in sequences:
+                    next_sequences.extend(expand(part, sequence))
+                sequences = next_sequences
+                if not sequences:
+                    break
+            return sequences
+        if isinstance(node, P.Or):
+            sequences = []
+            for part in node.parts:
+                sequences.extend(expand(part, prefix))
+            return sequences
+        if isinstance(node, P.Kleene):
+            sequences = []
+            if node.min_reps == 0:
+                sequences.append(prefix)
+            current = [prefix]
+            reps = 0
+            while True:
+                reps += 1
+                if node.max_reps is not None and reps > node.max_reps:
+                    break
+                next_current: List[Tuple[str, ...]] = []
+                for sequence in current:
+                    next_current.extend(expand(node.child, sequence))
+                current = [sequence for sequence in next_current
+                           if len(sequence) <= max_length]
+                if not current:
+                    break
+                if reps >= node.min_reps:
+                    sequences.extend(current)
+            return sequences
+        raise PlanError(f"unsupported pattern node {node!r}")
+
+    for sequence in expand(pattern, ()):
+        if sequence and sequence not in seen:
+            seen.add(sequence)
+            results.append(sequence)
+    return sorted(results)
+
+
+def special_pattern_matches(special: SpecialPattern, query: Query, series,
+                            start: int) -> bool:
+    """Whether the special pattern matches points ``start .. start+len-1``."""
+    from repro.lang import expr as E
+
+    if start + len(special) > len(series):
+        return False
+    for offset, name in enumerate(special):
+        var = query.var(name)
+        index = start + offset
+        ctx = E.EvalContext(series, index, index, variable=name,
+                            registry=query.registry)
+        if not E.evaluate_condition(var.condition, ctx):
+            return False
+    return True
+
+
+def matches_via_special_patterns(pattern: P.Pattern, query: Query,
+                                 series) -> set:
+    """Match set of ``pattern`` computed through its special-pattern form.
+
+    Used to validate Lemma A.1 executably: this must equal the brute-force
+    match set of the original pattern.
+    """
+    n = len(series)
+    specials = enumerate_special_patterns(pattern, query, n)
+    matches = set()
+    for special in specials:
+        for start in range(n - len(special) + 1):
+            if special_pattern_matches(special, query, series, start):
+                matches.add((start, start + len(special) - 1))
+    return matches

@@ -1,0 +1,155 @@
+"""Tokenizer for the extended MATCH_RECOGNIZE query syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import QuerySyntaxError
+
+#: Reserved words (case-insensitive).  ``window`` is *not* reserved — it is
+#: parsed as a function call in conditions.
+KEYWORDS = {
+    "PARTITION", "ORDER", "BY", "PATTERN", "DEFINE", "SEGMENT", "SEG", "AS",
+    "AND", "OR", "NOT", "BETWEEN", "TRUE", "FALSE", "NULL", "INF", "SUBSET",
+    "MEASURES",
+}
+
+#: Multi-character operators, longest first.
+_MULTI_OPS = ["<=", ">=", "!=", "<>", "=="]
+_SINGLE_OPS = "()[]{},.&|~*+?=<>-/:"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'string', 'param', 'op', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text, raising :class:`QuerySyntaxError` on bad input.
+
+    Supports ``--`` line comments.  String literals use single quotes with
+    ``''`` as the escape for a literal quote.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, line, column)
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_column = line, column
+        if ch == "'":
+            j = i + 1
+            value_chars = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        value_chars.append("'")
+                        j += 2
+                        continue
+                    break
+                if text[j] == "\n":
+                    raise error("unterminated string literal")
+                value_chars.append(text[j])
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", "".join(value_chars),
+                                start_line, start_column))
+            column += (j + 1 - i)
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't swallow a trailing '.' used for qualified names.
+                    if j + 1 < n and text[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (text[j + 1].isdigit()
+                                      or text[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 1
+                        if text[j] in "+-":
+                            j += 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token("number", text[i:j], start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.upper() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch == ":" and i + 1 < n and (text[i + 1].isalpha()
+                                        or text[i + 1] == "_"):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("param", text[i + 1:j],
+                                start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        matched: Optional[str] = None
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                matched = op
+                break
+        if matched is None and ch in _SINGLE_OPS:
+            matched = ch
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("op", matched, start_line, start_column))
+        column += len(matched)
+        i += len(matched)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,442 @@
+"""Recursive-descent parser for the extended MATCH_RECOGNIZE syntax.
+
+Grammar sketch (clauses may appear in any reasonable order; ``PATTERN`` and
+``DEFINE`` are the interesting ones)::
+
+    query        := clauses
+    clauses      := [PARTITION BY ident (, ident)*] [ORDER BY ident]
+                    PATTERN '(' pattern ')' subset* [DEFINE define_list]
+    subset       := SUBSET ident '=' '(' ident (, ident)* ')'
+    define_list  := define (',' define)*
+    define       := [SEGMENT|SEG] ident AS condition
+
+    pattern      := alternation
+    alternation  := conjunction ('|' conjunction)*
+    conjunction  := sequence ('&' sequence)*
+    sequence     := unary+
+    unary        := '~' unary | postfix
+    postfix      := primary quantifier?
+    quantifier   := '*' | '+' | '?' | '{' bound [',' bound?] '}'
+    primary      := ident | '(' pattern ')'
+
+Operator precedence (loosest to tightest): ``|``, ``&``, juxtaposition
+(concatenation), ``~``, quantifiers.  Quantifier bounds may be numbers or
+``:params`` (resolved from the ``params`` mapping at parse time, since
+pattern shape must be known before binding).
+
+Conditions use conventional precedence: ``OR`` < ``AND`` < ``NOT`` <
+comparison/``BETWEEN`` < additive < multiplicative < unary minus < primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.lang import expr as E
+from repro.lang import pattern as P
+from repro.lang.lexer import Token, tokenize
+
+
+@dataclass
+class RawDefine:
+    """One DEFINE entry before binding."""
+
+    name: str
+    is_segment: bool
+    condition: E.Expr
+
+
+@dataclass
+class ParsedQuery:
+    """Parser output, consumed by the binder."""
+
+    partition_by: List[str] = field(default_factory=list)
+    order_by: Optional[str] = None
+    pattern: Optional[P.Pattern] = None
+    subsets: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    defines: List[RawDefine] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], params: Dict[str, object]):
+        self._tokens = tokens
+        self._pos = 0
+        self._params = params
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        token = self._peek()
+        return QuerySyntaxError(f"{message} (found {token.text!r})",
+                                token.line, token.column)
+
+    def _check_op(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text == text
+
+    def _check_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.upper() == word
+
+    def _accept_op(self, text: str) -> bool:
+        if self._check_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, text: str) -> Token:
+        if not self._check_op(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._check_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error("expected an identifier")
+        return self._advance()
+
+    # -- query clauses -----------------------------------------------------
+
+    def parse_query(self) -> ParsedQuery:
+        query = ParsedQuery()
+        while not self._peek().kind == "eof":
+            if self._check_keyword("PARTITION"):
+                self._advance()
+                self._expect_keyword("BY")
+                query.partition_by.append(self._expect_ident().text)
+                while self._accept_op(","):
+                    query.partition_by.append(self._expect_ident().text)
+            elif self._check_keyword("ORDER"):
+                self._advance()
+                self._expect_keyword("BY")
+                query.order_by = self._expect_ident().text
+            elif self._check_keyword("PATTERN"):
+                self._advance()
+                # The pattern is a full expression; outer parentheses (as in
+                # "PATTERN (A B)") are consumed by the pattern grammar, and
+                # trailing operators ("PATTERN (...) & WINDOW") still bind.
+                query.pattern = self.parse_pattern()
+            elif self._check_keyword("SUBSET"):
+                self._advance()
+                name = self._expect_ident().text
+                self._expect_op("=")
+                self._expect_op("(")
+                members = [self._expect_ident().text]
+                while self._accept_op(","):
+                    members.append(self._expect_ident().text)
+                self._expect_op(")")
+                query.subsets[name] = tuple(members)
+            elif self._check_keyword("DEFINE"):
+                self._advance()
+                query.defines = self._parse_defines()
+            else:
+                raise self._error("expected a query clause")
+        if query.pattern is None:
+            raise QuerySyntaxError("query has no PATTERN clause")
+        return query
+
+    def _parse_defines(self) -> List[RawDefine]:
+        defines = [self._parse_define()]
+        while self._accept_op(","):
+            if self._peek().kind == "eof":
+                break  # tolerate a trailing comma
+            defines.append(self._parse_define())
+        return defines
+
+    def _parse_define(self) -> RawDefine:
+        is_segment = False
+        if self._check_keyword("SEGMENT") or self._check_keyword("SEG"):
+            self._advance()
+            is_segment = True
+        name = self._expect_ident().text
+        self._expect_keyword("AS")
+        condition = self.parse_condition()
+        return RawDefine(name, is_segment, condition)
+
+    # -- pattern grammar ---------------------------------------------------
+
+    def parse_pattern(self) -> P.Pattern:
+        return self._parse_alternation()
+
+    def _parse_alternation(self) -> P.Pattern:
+        parts = [self._parse_conjunction()]
+        while self._accept_op("|"):
+            parts.append(self._parse_conjunction())
+        return P.disj(*parts)
+
+    def _parse_conjunction(self) -> P.Pattern:
+        parts = [self._parse_sequence()]
+        while self._accept_op("&"):
+            parts.append(self._parse_sequence())
+        return P.conj(*parts)
+
+    def _parse_sequence(self) -> P.Pattern:
+        parts = [self._parse_pattern_unary()]
+        while True:
+            token = self._peek()
+            if token.kind == "ident" or (token.kind == "op"
+                                         and token.text in ("(", "~")):
+                parts.append(self._parse_pattern_unary())
+            else:
+                break
+        return P.concat(*parts)
+
+    def _parse_pattern_unary(self) -> P.Pattern:
+        if self._accept_op("~"):
+            return P.Not(self._parse_pattern_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> P.Pattern:
+        node = self._parse_pattern_primary()
+        while True:
+            if self._accept_op("*"):
+                node = P.Kleene(node, 0, None)
+            elif self._accept_op("+"):
+                node = P.Kleene(node, 1, None)
+            elif self._accept_op("?"):
+                node = P.Kleene(node, 0, 1)
+            elif self._check_op("{"):
+                self._advance()
+                low = self._parse_quantifier_bound()
+                high: Optional[int] = low
+                if self._accept_op(","):
+                    if self._check_op("}"):
+                        high = None
+                    else:
+                        high = self._parse_quantifier_bound()
+                self._expect_op("}")
+                node = P.Kleene(node, low, high)
+            else:
+                break
+        return node
+
+    def _parse_quantifier_bound(self) -> int:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return int(float(token.text))
+        if token.kind == "param":
+            self._advance()
+            if token.text not in self._params:
+                raise QuerySyntaxError(
+                    f"quantifier parameter :{token.text} must be supplied at "
+                    f"parse time", token.line, token.column)
+            return int(self._params[token.text])
+        raise self._error("expected a quantifier bound")
+
+    def _parse_pattern_primary(self) -> P.Pattern:
+        if self._accept_op("("):
+            inner = self.parse_pattern()
+            self._expect_op(")")
+            return inner
+        token = self._peek()
+        if token.kind == "ident":
+            self._advance()
+            return P.VarRef(token.text)
+        raise self._error("expected a variable or '('")
+
+    # -- condition grammar ---------------------------------------------------
+
+    def parse_condition(self) -> E.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> E.Expr:
+        node = self._parse_and()
+        while self._check_keyword("OR"):
+            self._advance()
+            node = E.Binary("or", node, self._parse_and())
+        return node
+
+    def _parse_and(self) -> E.Expr:
+        node = self._parse_not()
+        while self._check_keyword("AND"):
+            self._advance()
+            node = E.Binary("and", node, self._parse_not())
+        return node
+
+    def _parse_not(self) -> E.Expr:
+        if self._check_keyword("NOT"):
+            self._advance()
+            return E.Unary("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> E.Expr:
+        node = self._parse_additive()
+        if self._check_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return E.Between(node, low, high)
+        token = self._peek()
+        if token.kind == "op" and token.text in ("<", "<=", ">", ">=", "=",
+                                                 "==", "!=", "<>"):
+            self._advance()
+            right = self._parse_additive()
+            return E.Binary(token.text, node, right)
+        return node
+
+    def _parse_additive(self) -> E.Expr:
+        node = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                node = E.Binary(token.text, node,
+                                self._parse_multiplicative())
+            else:
+                break
+        return node
+
+    def _parse_multiplicative(self) -> E.Expr:
+        node = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self._advance()
+                node = E.Binary(token.text, node, self._parse_unary())
+            else:
+                break
+        return node
+
+    def _parse_unary(self) -> E.Expr:
+        if self._check_op("-"):
+            self._advance()
+            return E.Unary("-", self._parse_unary())
+        if self._check_op("+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> E.Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            value = float(text)
+            if value.is_integer() and "." not in text and "e" not in text.lower():
+                return E.Literal(int(value))
+            return E.Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return E.Literal(token.text)
+        if token.kind == "param":
+            self._advance()
+            if token.text in self._params:
+                return E.Literal(self._params[token.text])
+            return E.Param(token.text)
+        if token.kind == "keyword":
+            word = token.upper()
+            if word == "TRUE":
+                self._advance()
+                return E.Literal(True)
+            if word == "FALSE":
+                self._advance()
+                return E.Literal(False)
+            if word in ("NULL", "INF"):
+                self._advance()
+                return E.Literal(None)
+            raise self._error("unexpected keyword in condition")
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            inner = self.parse_condition()
+            self._expect_op(")")
+            return inner
+        if token.kind == "ident":
+            return self._parse_name_or_call()
+        raise self._error("expected a condition term")
+
+    def _parse_name_or_call(self) -> E.Expr:
+        name_token = self._advance()
+        name = name_token.text
+        # INTERVAL '<n>' UNIT literal (SQL standard spelling).
+        if name.upper() == "INTERVAL" and self._peek().kind in ("string",
+                                                                "number"):
+            value_token = self._advance()
+            try:
+                value = float(value_token.text)
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"INTERVAL value must be numeric, got "
+                    f"{value_token.text!r}", value_token.line,
+                    value_token.column) from None
+            unit_token = self._expect_ident()
+            return E.Interval(value, unit_token.text.upper())
+        # Qualified column reference VAR.col
+        if self._check_op("."):
+            self._advance()
+            column = self._expect_ident().text
+            return E.ColumnRef(name, column)
+        if self._check_op("("):
+            self._advance()
+            args: List[E.Expr] = []
+            if not self._check_op(")"):
+                args.append(self.parse_condition())
+                while self._accept_op(","):
+                    args.append(self.parse_condition())
+            self._expect_op(")")
+            return self._build_call(name, args, name_token)
+        return E.ColumnRef(None, name)
+
+    def _build_call(self, name: str, args: List[E.Expr],
+                    token: Token) -> E.Expr:
+        lowered = name.lower()
+        if lowered == "window":
+            return E.WindowCall(tuple(args))
+        if lowered in ("first", "last"):
+            if len(args) != 1 or not isinstance(args[0], E.ColumnRef):
+                raise QuerySyntaxError(
+                    f"{lowered}() takes exactly one column reference",
+                    token.line, token.column)
+            return E.PointAccess(lowered, args[0])
+        columns: List[E.ColumnRef] = []
+        extra: List[E.Expr] = []
+        for arg in args:
+            if isinstance(arg, E.ColumnRef) and not extra:
+                columns.append(arg)
+            else:
+                extra.append(arg)
+        return E.AggCall(name.lower(), tuple(columns), tuple(extra))
+
+
+def parse(text: str, params: Optional[Dict[str, object]] = None) -> ParsedQuery:
+    """Parse a full query text into a :class:`ParsedQuery`."""
+    parser = _Parser(tokenize(text), params or {})
+    return parser.parse_query()
+
+
+def parse_pattern(text: str,
+                  params: Optional[Dict[str, object]] = None) -> P.Pattern:
+    """Parse a standalone pattern expression (testing aid)."""
+    parser = _Parser(tokenize(text), params or {})
+    pattern = parser.parse_pattern()
+    if parser._peek().kind != "eof":
+        raise parser._error("trailing input after pattern")
+    return pattern
+
+
+def parse_condition(text: str,
+                    params: Optional[Dict[str, object]] = None) -> E.Expr:
+    """Parse a standalone condition expression (testing aid)."""
+    parser = _Parser(tokenize(text), params or {})
+    condition = parser.parse_condition()
+    if parser._peek().kind != "eof":
+        raise parser._error("trailing input after condition")
+    return condition

@@ -1,0 +1,450 @@
+"""Appendix B: rewriting standard MATCH_RECOGNIZE queries into T-ReX IR.
+
+A rule system transforms point-variable patterns into segment-variable
+patterns that expose optimization opportunities:
+
+* **Rule 1** — convert trivially-true ``x*`` (and time-bounded ``x+``)
+  point variables into segment variables;
+* **Rule 2** — convert ``SUBSET`` variables into segment variables attached
+  with ``&``;
+* **Rule 3** — reassign CNF clauses of a variable's condition to the
+  variable they actually constrain;
+* **Rule 4** — decompose a segment variable's conjunctive condition into
+  finer-grained variables combined with ``&``;
+* **Rule 5** — remove irrelevant always-true variables.
+
+:func:`rewrite_query` applies the rules to a fixpoint in the order Rule 2,
+1, 3, 4, 5 — the sequence walked through in Example 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Set, Tuple
+
+from repro.lang import expr as E
+from repro.lang import pattern as P
+from repro.lang.query import Query, VarDef
+from repro.lang.windows import WindowSpec
+
+_fresh = itertools.count()
+
+
+def _fresh_name(base: str, taken: Set[str]) -> str:
+    candidate = base
+    while candidate in taken:
+        candidate = f"{base}_{next(_fresh)}"
+    return candidate
+
+
+def _replace_in_pattern(pattern: P.Pattern, target: P.Pattern,
+                        replacement: P.Pattern) -> P.Pattern:
+    if pattern == target:
+        return replacement
+    if isinstance(pattern, P.Concat):
+        return P.concat(*[_replace_in_pattern(part, target, replacement)
+                          for part in pattern.parts])
+    if isinstance(pattern, P.And):
+        return P.conj(*[_replace_in_pattern(part, target, replacement)
+                        for part in pattern.parts])
+    if isinstance(pattern, P.Or):
+        return P.disj(*[_replace_in_pattern(part, target, replacement)
+                        for part in pattern.parts])
+    if isinstance(pattern, P.Kleene):
+        return P.Kleene(_replace_in_pattern(pattern.child, target,
+                                            replacement),
+                        pattern.min_reps, pattern.max_reps)
+    if isinstance(pattern, P.Not):
+        return P.Not(_replace_in_pattern(pattern.child, target, replacement))
+    return pattern
+
+
+def _rename_refs_everywhere(query: Query, old: str, new: str) -> None:
+    for name, var in list(query.variables.items()):
+        if var.condition is not None and old in var.external_refs:
+            condition = E.rename_variable(var.condition, old, new)
+            query.variables[name] = VarDef(
+                var.name, var.is_segment, var.windows, condition,
+                E.external_references(condition, var.name))
+
+
+def rule1_point_to_segment(query: Query) -> bool:
+    """Rule 1: ``x*`` with a trivially-true or time-only condition becomes
+    a segment variable."""
+    changed = False
+    for node in list(P.walk(query.pattern)):
+        if not (isinstance(node, P.Kleene) and
+                isinstance(node.child, P.VarRef)):
+            continue
+        name = node.child.name
+        var = query.variables.get(name)
+        if var is None or var.is_segment:
+            continue
+        if var.condition is not None:
+            # Only the trivially-true case is automated here; the
+            # time-delta form requires recognizing the specific shape
+            # ``col - first(x.col) <= delta`` which we translate below.
+            window = _time_delta_window(var, query)
+            if window is None:
+                continue
+            new_var = VarDef(name, True, (window,), None, frozenset())
+        else:
+            if node.min_reps == 0:
+                new_var = VarDef(name, True, (), None, frozenset())
+            else:
+                new_var = VarDef(name, True,
+                                 (WindowSpec.point(1, None),), None,
+                                 frozenset())
+        query.variables[name] = new_var
+        replacement: P.Pattern = P.VarRef(name)
+        query.pattern = _replace_in_pattern(query.pattern, node, replacement)
+        changed = True
+    return changed
+
+
+def _time_delta_window(var: VarDef, query: Query) -> Optional[WindowSpec]:
+    """Recognize ``DEFINE x AS col - first(x.col) <= delta`` (Rule 1).
+
+    ``delta`` may be a plain number (series-native units) or an
+    ``INTERVAL '<n>' UNIT`` literal.
+    """
+    cond = var.condition
+    if not (isinstance(cond, E.Binary) and cond.op == "<="):
+        return None
+    delta = cond.right
+    interval_unit: Optional[str] = None
+    if isinstance(delta, E.Interval):
+        value = float(delta.value)
+        interval_unit = delta.unit
+    elif isinstance(delta, E.Literal) and isinstance(
+            delta.value, (int, float)) and not isinstance(delta.value, bool):
+        value = float(delta.value)
+    else:
+        return None
+    left = cond.left
+    if not (isinstance(left, E.Binary) and left.op == "-"):
+        return None
+    if not (isinstance(left.left, E.ColumnRef)
+            and isinstance(left.right, E.PointAccess)
+            and left.right.which == "first"
+            and left.right.arg.column == left.left.column):
+        return None
+    column = left.left.column
+    if interval_unit is not None:
+        return WindowSpec("time", 0.0, value, column, interval_unit)
+    if column == query.order_by:
+        return WindowSpec("point", 0.0, value)
+    return WindowSpec("time", 0.0, value, column, "DAY")
+
+
+def rule2_subset_to_segment(query: Query) -> bool:
+    """Rule 2: a SUBSET variable whose members form a contiguous Concat/
+    Kleene sub-pattern becomes an ``&``-attached segment variable."""
+    changed = False
+    for subset_name, members in list(query.subsets.items()):
+        target = _minimal_covering_subpattern(query.pattern, set(members))
+        if target is None:
+            continue
+        new_name = _fresh_name(subset_name + subset_name[-1],
+                               set(query.variables))
+        query.variables[new_name] = VarDef(new_name, True, (), None,
+                                           frozenset())
+        replacement = P.conj(target, P.VarRef(new_name))
+        rewritten = _replace_subpattern(query.pattern, target, replacement)
+        if rewritten is None:
+            del query.variables[new_name]
+            continue
+        query.pattern = rewritten
+        _rename_refs_everywhere(query, subset_name, new_name)
+        del query.subsets[subset_name]
+        changed = True
+    return changed
+
+
+def _replace_subpattern(pattern: P.Pattern, target: P.Pattern,
+                        replacement: P.Pattern) -> Optional[P.Pattern]:
+    """Replace ``target`` in ``pattern``; unlike ``_replace_in_pattern``
+    this also splices a target that is a contiguous *run* of a larger
+    Concat's parts.  Returns None when the target is not found."""
+    if pattern == target:
+        return replacement
+    direct = _replace_in_pattern(pattern, target, replacement)
+    if direct != pattern:
+        return direct
+    if isinstance(target, P.Concat):
+        run = target.parts
+        spliced = _splice_concat_run(pattern, run, replacement)
+        if spliced is not None:
+            return spliced
+    return None
+
+
+def _splice_concat_run(pattern: P.Pattern, run: Tuple[P.Pattern, ...],
+                       replacement: P.Pattern) -> Optional[P.Pattern]:
+    if isinstance(pattern, P.Concat):
+        parts = pattern.parts
+        for i in range(len(parts) - len(run) + 1):
+            if parts[i:i + len(run)] == run:
+                new_parts = parts[:i] + (replacement,) + parts[i + len(run):]
+                if len(new_parts) == 1:
+                    return new_parts[0]
+                return P.Concat(new_parts)
+    rebuilt_children = []
+    hit = False
+    for child in pattern.children():
+        spliced = _splice_concat_run(child, run, replacement)
+        if spliced is not None and not hit:
+            rebuilt_children.append(spliced)
+            hit = True
+        else:
+            rebuilt_children.append(child)
+    if not hit:
+        return None
+    if isinstance(pattern, P.Concat):
+        return P.Concat(tuple(rebuilt_children))
+    if isinstance(pattern, P.And):
+        return P.And(tuple(rebuilt_children))
+    if isinstance(pattern, P.Or):
+        return P.Or(tuple(rebuilt_children))
+    if isinstance(pattern, P.Kleene):
+        return P.Kleene(rebuilt_children[0], pattern.min_reps,
+                        pattern.max_reps)
+    if isinstance(pattern, P.Not):
+        return P.Not(rebuilt_children[0])
+    return None
+
+
+def _minimal_covering_subpattern(pattern: P.Pattern,
+                                 members: Set[str]) -> Optional[P.Pattern]:
+    """Smallest Concat/Kleene-only sub-pattern containing exactly the
+    subset's point variables."""
+
+    def vars_of(node: P.Pattern) -> Set[str]:
+        return {sub.name for sub in P.walk(node)
+                if isinstance(sub, P.VarRef)}
+
+    def only_concat_kleene(node: P.Pattern) -> bool:
+        return all(isinstance(sub, (P.Concat, P.Kleene, P.VarRef))
+                   for sub in P.walk(node))
+
+    best: Optional[P.Pattern] = None
+    for node in P.walk(pattern):
+        names = vars_of(node)
+        if members <= names and names <= members and \
+                only_concat_kleene(node):
+            if best is None or len(list(P.walk(node))) < \
+                    len(list(P.walk(best))):
+                best = node
+    if best is not None:
+        return best
+    # Try contiguous runs inside Concat nodes.
+    for node in P.walk(pattern):
+        if not isinstance(node, P.Concat):
+            continue
+        parts = node.parts
+        for i in range(len(parts)):
+            for j in range(i, len(parts)):
+                sub = parts[i:j + 1]
+                candidate = sub[0] if len(sub) == 1 else P.Concat(sub)
+                names = vars_of(candidate)
+                if members <= names and names <= members and \
+                        only_concat_kleene(candidate):
+                    return candidate
+    return None
+
+
+def rule3_reassign_conditions(query: Query) -> bool:
+    """Rule 3: move CNF clauses onto the variable they constrain."""
+    changed = False
+    for name, var in list(query.variables.items()):
+        if var.condition is None:
+            continue
+        keep: List[E.Expr] = []
+        for clause in E.split_conjuncts(var.condition):
+            referenced = E.referenced_variables(clause)
+            if len(referenced) == 1:
+                (target,) = referenced
+                if target != name and target in query.variables and \
+                        query.variables[target].is_segment:
+                    clause = E.rename_variable(clause, target, target)
+                    _append_condition(query, target, clause)
+                    changed = True
+                    continue
+            keep.append(clause)
+        if changed:
+            condition = E.conjoin(keep)
+            query.variables[name] = VarDef(
+                name, var.is_segment, var.windows, condition,
+                E.external_references(condition, name))
+    return changed
+
+
+def _append_condition(query: Query, name: str, clause: E.Expr) -> None:
+    var = query.variables[name]
+    combined = E.conjoin(E.split_conjuncts(var.condition) + [clause])
+    query.variables[name] = VarDef(
+        name, var.is_segment, var.windows, combined,
+        E.external_references(combined, name))
+
+
+def rule4_decompose(query: Query) -> bool:
+    """Rule 4: split a segment variable's conjunctive condition into
+    finer-grained ``&``-combined variables."""
+    changed = False
+    for name, var in list(query.variables.items()):
+        if not var.is_segment or var.condition is None:
+            continue
+        clauses = E.split_conjuncts(var.condition)
+        if len(clauses) < 2:
+            continue
+        taken = set(query.variables)
+        new_parts: List[P.Pattern] = []
+        for index, clause in enumerate(clauses, start=1):
+            sub_name = _fresh_name(f"{name}{index}", taken)
+            taken.add(sub_name)
+            clause = E.rename_variable(clause, name, sub_name)
+            query.variables[sub_name] = VarDef(
+                sub_name, True, var.windows if index == 1 else (),
+                clause, E.external_references(clause, sub_name))
+            new_parts.append(P.VarRef(sub_name))
+        del query.variables[name]
+        replacement = P.conj(*new_parts)
+        query.pattern = _replace_in_pattern(query.pattern, P.VarRef(name),
+                                            replacement)
+        changed = True
+    return changed
+
+
+def rule5_remove_irrelevant(query: Query) -> bool:
+    """Rule 5: drop always-true variables nobody references."""
+    referenced = query.referenced_variables()
+    changed = False
+    for name, var in list(query.variables.items()):
+        if not var.is_wild or name in referenced:
+            continue
+        target = P.VarRef(name)
+        pattern = query.pattern
+        # (A & Z) -> A
+        for node in P.walk(pattern):
+            if isinstance(node, P.And) and target in node.parts and \
+                    len(node.parts) > 1:
+                rest = tuple(part for part in node.parts
+                             if part != target)
+                replacement = rest[0] if len(rest) == 1 else P.And(rest)
+                query.pattern = _replace_in_pattern(pattern, node,
+                                                    replacement)
+                del query.variables[name]
+                changed = True
+                break
+        if changed:
+            break
+        # (A Z) at the pattern root -> A.  Restricted to *point* variables:
+        # removing a trailing wild point (the Example 3 artifact Z) drops a
+        # vestigial one-row extension, whereas removing a trailing wild
+        # segment (padding like B) would change the match set.
+        if (not var.is_segment and isinstance(pattern, P.Concat)
+                and pattern.parts[-1] == target):
+            rest = pattern.parts[:-1]
+            query.pattern = rest[0] if len(rest) == 1 else P.Concat(rest)
+            del query.variables[name]
+            changed = True
+    return changed
+
+
+def rule_window_recognition(query: Query) -> bool:
+    """Convert duration conditions into window specs.
+
+    ``last(X.t) - first(X.t) BETWEEN a AND b`` (or ``<= b``) on a segment
+    variable is exactly a window constraint; expressing it as one lets the
+    logical rewrite embed and push it down (the Figure 18 form uses
+    ``window(...)`` for these).  Only the series' order column qualifies.
+    """
+    changed = False
+    for name, var in list(query.variables.items()):
+        if not var.is_segment or var.condition is None:
+            continue
+        keep: List[E.Expr] = []
+        new_windows = list(var.windows)
+        for clause in E.split_conjuncts(var.condition):
+            window = _duration_clause_to_window(clause, name, query)
+            if window is not None:
+                new_windows.append(window)
+                changed = True
+            else:
+                keep.append(clause)
+        if len(new_windows) != len(var.windows):
+            condition = E.conjoin(keep)
+            query.variables[name] = VarDef(
+                name, True, tuple(new_windows), condition,
+                E.external_references(condition, name))
+    return changed
+
+
+def _duration_clause_to_window(clause: E.Expr, name: str,
+                               query: Query) -> Optional[WindowSpec]:
+    """Recognize ``last(col) - first(col) BETWEEN a AND b`` / ``<= b``."""
+
+    def is_duration(expr: E.Expr) -> Optional[str]:
+        if (isinstance(expr, E.Binary) and expr.op == "-"
+                and isinstance(expr.left, E.PointAccess)
+                and expr.left.which == "last"
+                and isinstance(expr.right, E.PointAccess)
+                and expr.right.which == "first"
+                and expr.left.arg.column == expr.right.arg.column
+                and expr.left.arg.variable in (None, name)
+                and expr.right.arg.variable in (None, name)):
+            return expr.left.arg.column
+        return None
+
+    def bound(expr: E.Expr):
+        """(value, unit-or-None) for numeric literals and INTERVALs."""
+        if isinstance(expr, E.Interval):
+            return float(expr.value), expr.unit
+        if isinstance(expr, E.Literal) and isinstance(
+                expr.value, (int, float)) and not isinstance(
+                expr.value, bool):
+            return float(expr.value), None
+        return None
+
+    if isinstance(clause, E.Between):
+        column = is_duration(clause.operand)
+        lo = bound(clause.low)
+        hi = bound(clause.high)
+        if column is None or lo is None or hi is None or lo[0] < 0:
+            return None
+        if lo[1] or hi[1]:
+            unit = lo[1] or hi[1]
+            if (lo[1] or unit) != unit or (hi[1] or unit) != unit:
+                return None
+            return WindowSpec("time", lo[0], hi[0], column, unit)
+        if column == query.order_by:
+            return WindowSpec.point(lo[0], hi[0])
+        return None
+    if isinstance(clause, E.Binary) and clause.op in ("<=", "<"):
+        column = is_duration(clause.left)
+        hi = bound(clause.right)
+        if column is None or hi is None or hi[0] < 0:
+            return None
+        if hi[1]:
+            return WindowSpec("time", 0.0, hi[0], column, hi[1])
+        if column == query.order_by:
+            return WindowSpec.point(0, hi[0])
+    return None
+
+
+#: Rule application order (the Example 3 walkthrough).
+RULES = (rule2_subset_to_segment, rule1_point_to_segment,
+         rule3_reassign_conditions, rule_window_recognition,
+         rule4_decompose, rule5_remove_irrelevant)
+
+
+def rewrite_query(query: Query, max_rounds: int = 10) -> Query:
+    """Apply the rewrite rules to a fixpoint (mutates and returns query)."""
+    for _ in range(max_rounds):
+        changed = False
+        for rule in RULES:
+            while rule(query):
+                changed = True
+        if not changed:
+            break
+    return query

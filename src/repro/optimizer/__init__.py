@@ -1,0 +1,14 @@
+"""Optimizer: statistics, cost model, rule-based and cost-based planners."""
+
+from repro.optimizer.cost_params import (DEFAULT_COST_PARAMS, CostParams,
+                                         expected_distinct)
+from repro.optimizer.planner import CostBasedPlanner
+from repro.optimizer.rulebased import (BASELINE_STRATEGIES,
+                                       BASELINE_STRATEGIES_WITH_NOT,
+                                       RuleBasedPlanner, RuleStrategy)
+from repro.optimizer.stats import StatsCatalog, collect_stats
+
+__all__ = ["CostBasedPlanner", "RuleBasedPlanner", "RuleStrategy",
+           "BASELINE_STRATEGIES", "BASELINE_STRATEGIES_WITH_NOT",
+           "CostParams", "DEFAULT_COST_PARAMS", "expected_distinct",
+           "StatsCatalog", "collect_stats"]

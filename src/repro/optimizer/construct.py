@@ -1,0 +1,306 @@
+"""Physical plan construction shared by rule-based and cost-based planners.
+
+This module turns logical nodes into physical operators given *decisions*
+(join order, binary operator implementation, Not implementation, leaf
+implementation) and handles the cross-cutting concerns:
+
+* computing which variable names must be *published* in payloads,
+* ordering sibling sub-trees so referenced segments are bound before use,
+* **Filter lifting**: when a chosen operator cannot deliver references to a
+  consumer (Sort-Merge independence, or cyclic references), the consumer
+  leaf's condition is lifted into a :class:`FilterOp` placed at the first
+  ancestor where every referenced segment is available, and the leaf is
+  replaced by an unfiltered ``SegGenWindow`` (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlanError
+from repro.exec.and_or import (LeftProbeAnd, RightProbeAnd, SortMergeAnd,
+                               SortMergeOr)
+from repro.exec.base import PhysicalOperator
+from repro.exec.concat import (LeftProbeConcat, RightProbeConcat,
+                               SortMergeConcat, WildWindowConcat)
+from repro.exec.filter_op import FilterOp, LiftedCondition
+from repro.exec.kleene import MaterializeKleene
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.exec.seggen import SegGenFilter, SegGenIndexing, SegGenWindow
+from repro.lang.query import Query, VarDef
+from repro.lang.windows import WindowConjunction
+from repro.plan.logical import LKleene, LNot, LVar, LogicalNode, walk
+
+#: Binary implementation choices.
+SORT_MERGE = "sm"
+RIGHT_PROBE = "rp"
+LEFT_PROBE = "lp"
+
+#: Not implementation choices.
+NOT_MATERIALIZE = "materialize"
+NOT_PROBE = "probe"
+
+#: Leaf implementation choices.
+LEAF_INDEXING = "indexing"
+LEAF_FILTER = "filter"
+
+
+def publish_set(query: Query) -> FrozenSet[str]:
+    """Variable names that may need to travel in payloads.
+
+    This is the set of variables referenced by other variables' conditions,
+    plus the owners of potentially lifted conditions (variables whose own
+    conditions hold external references).
+    """
+    names: Set[str] = set()
+    for var in query.variables.values():
+        names |= set(var.external_refs)
+        if var.external_refs:
+            names.add(var.name)
+    return frozenset(names)
+
+
+def var_is_indexable(var: VarDef, query: Query) -> bool:
+    """Whether the variable's condition benefits from SegGenIndexing."""
+    calls = var.aggregate_calls()
+    if not calls:
+        return False
+    for call in calls:
+        agg = query.registry.get(call.name)
+        if getattr(agg, "needs_series_context", False):
+            continue
+        if not agg.supports_index:
+            continue
+        if all(ref.variable in (None, var.name) for ref in call.columns):
+            return True
+    return False
+
+
+def validate_scoping(query: Query, root: LogicalNode) -> None:
+    """Reject references into Kleene bodies or Not bodies from outside."""
+    referenced = query.referenced_variables()
+    for node in walk(root):
+        if isinstance(node, LKleene):
+            inner = {n.var.name for n in walk(node.child)
+                     if isinstance(n, LVar)}
+            outside_consumers = set()
+            for other in query.variables.values():
+                if other.name not in inner and (
+                        set(other.external_refs) & inner):
+                    outside_consumers.add(other.name)
+            if outside_consumers:
+                raise PlanError(
+                    f"variables {sorted(outside_consumers)} reference "
+                    f"segments inside a Kleene body {sorted(inner)}; such "
+                    f"references are not supported")
+        if isinstance(node, LNot):
+            inner = {n.var.name for n in walk(node.child)
+                     if isinstance(n, LVar)}
+            outside = inner & referenced
+            consumers_outside = set()
+            for other in query.variables.values():
+                if other.name not in inner and (
+                        set(other.external_refs) & inner):
+                    consumers_outside.add(other.name)
+            if consumers_outside:
+                raise PlanError(
+                    f"variables {sorted(consumers_outside)} reference "
+                    f"segments inside a Not body; a negation binds nothing")
+            del outside
+
+
+@dataclass
+class BuildResult:
+    """A constructed operator plus conditions still waiting to be lifted."""
+
+    op: PhysicalOperator
+    lifted: List[LiftedCondition] = field(default_factory=list)
+
+    @property
+    def pending_refs(self) -> Set[str]:
+        needed: Set[str] = set()
+        for owner, condition in self.lifted:
+            from repro.lang import expr as E
+            needed |= set(E.external_references(condition, owner))
+            needed.add(owner)
+        return needed
+
+
+class Construction:
+    """Stateless helpers bound to one query + publish set + sharing mode."""
+
+    def __init__(self, query: Query, sharing: str = "on"):
+        if sharing not in ("on", "off"):
+            raise PlanError(f"sharing mode must be 'on' or 'off' at "
+                            f"construction level, got {sharing!r}")
+        self.query = query
+        self.sharing = sharing
+        self.publish = publish_set(query)
+        # Variables appearing more than once in the pattern get their leaf
+        # results memoized via the SubPattern operator (Section 4.5.1), so
+        # e.g. cld_wave's two W1 pads share one evaluation per search space.
+        from repro.lang import pattern as P
+        counts: dict = {}
+        for node in P.walk(query.pattern):
+            if isinstance(node, P.VarRef):
+                counts[node.name] = counts.get(node.name, 0) + 1
+        self._repeated_vars = {name for name, count in counts.items()
+                               if count > 1}
+
+    # -- leaves --------------------------------------------------------------
+
+    def leaf(self, node: LVar, impl: Optional[str] = None,
+             lift: bool = False) -> BuildResult:
+        """Build a leaf operator; ``lift=True`` forces the Figure-6 form
+        (SegGenWindow + lifted condition)."""
+        var = node.var
+        pub = self.publish & {var.name}
+        if var.condition is None:
+            op = SegGenWindow(node.window, var.name, pub)
+            return BuildResult(self._maybe_share(op, node))
+        if lift:
+            op = SegGenWindow(node.window, var.name,
+                              pub | frozenset({var.name}))
+            return BuildResult(op, [(var.name, var.condition)])
+        if impl is None:
+            impl = (LEAF_INDEXING
+                    if self.sharing == "on" and var_is_indexable(var,
+                                                                 self.query)
+                    else LEAF_FILTER)
+        if impl == LEAF_INDEXING:
+            op: "PhysicalOperator" = SegGenIndexing(var, node.window, pub)
+        else:
+            op = SegGenFilter(var, node.window, pub)
+        return BuildResult(self._maybe_share(op, node))
+
+    def _maybe_share(self, op, node: LVar):
+        """Wrap repeated-variable leaves in a SubPattern memo operator."""
+        if node.var.name not in self._repeated_vars:
+            return op
+        from repro.exec.special import SubPatternCache
+        key = (f"{type(op).__name__}:{node.var.name}:"
+               f"{node.window.describe()}:{sorted(op.publish)}")
+        return SubPatternCache(op, key)
+
+    # -- binary combines -----------------------------------------------------
+
+    def _merged_meta(self, left: PhysicalOperator, right: PhysicalOperator):
+        provides_publish = (left.publish | right.publish) & self.publish
+        requires = (left.requires | right.requires) - self._provided(left) \
+            - self._provided(right)
+        return provides_publish, frozenset(requires)
+
+    @staticmethod
+    def _provided(op: PhysicalOperator) -> Set[str]:
+        return set(op.publish)
+
+    def combine_concat(self, left: BuildResult, right: BuildResult, gap: int,
+                       window: WindowConjunction, impl: str) -> BuildResult:
+        publish, requires = self._merged_meta(left.op, right.op)
+        classes = {SORT_MERGE: SortMergeConcat, RIGHT_PROBE: RightProbeConcat,
+                   LEFT_PROBE: LeftProbeConcat}
+        op = classes[impl](left.op, right.op, gap, window, publish, requires)
+        return BuildResult(op, left.lifted + right.lifted)
+
+    def combine_and(self, left: BuildResult, right: BuildResult,
+                    window: WindowConjunction, impl: str) -> BuildResult:
+        publish, requires = self._merged_meta(left.op, right.op)
+        classes = {SORT_MERGE: SortMergeAnd, RIGHT_PROBE: RightProbeAnd,
+                   LEFT_PROBE: LeftProbeAnd}
+        op = classes[impl](left.op, right.op, window, publish, requires)
+        return BuildResult(op, left.lifted + right.lifted)
+
+    def combine_or(self, left: BuildResult, right: BuildResult,
+                   window: WindowConjunction) -> BuildResult:
+        publish, requires = self._merged_meta(left.op, right.op)
+        op = SortMergeOr(left.op, right.op, window, publish, requires)
+        return BuildResult(op, left.lifted + right.lifted)
+
+    def wild_concat(self, left: BuildResult, right: BuildResult,
+                    pad_window: WindowConjunction,
+                    window: WindowConjunction) -> BuildResult:
+        publish, requires = self._merged_meta(left.op, right.op)
+        op = WildWindowConcat(left.op, right.op, pad_window, window, publish,
+                              requires)
+        return BuildResult(op, left.lifted + right.lifted)
+
+    # -- unary ---------------------------------------------------------------
+
+    def build_not(self, child: BuildResult, window: WindowConjunction,
+                  impl: str) -> BuildResult:
+        if child.lifted:
+            raise PlanError("conditions cannot be lifted out of a Not "
+                            "operator (Section 4.4.2)")
+        cls = MaterializeNot if impl == NOT_MATERIALIZE else ProbeNot
+        op = cls(child.op, window, frozenset(), child.op.requires)
+        return BuildResult(op)
+
+    def build_kleene(self, child: BuildResult, node: LKleene) -> BuildResult:
+        if child.lifted:
+            raise PlanError("conditions cannot be lifted out of a Kleene "
+                            "body")
+        op = MaterializeKleene(child.op, node.min_reps, node.max_reps,
+                               node.gap, node.window, frozenset(),
+                               child.op.requires)
+        return BuildResult(op)
+
+    def apply_filter(self, result: BuildResult,
+                     window: WindowConjunction) -> BuildResult:
+        """Place a FilterOp over ``result`` resolving its lifted conditions."""
+        if not result.lifted:
+            return result
+        op = FilterOp(result.op, result.lifted, window,
+                      use_index=self.sharing == "on",
+                      publish=result.op.publish & self.publish,
+                      requires=result.op.requires)
+        return BuildResult(op)
+
+    def maybe_resolve_lifts(self, result: BuildResult,
+                            available: FrozenSet[str],
+                            window: WindowConjunction) -> BuildResult:
+        """Apply a FilterOp for every lifted condition whose references are
+        bound at this point; keep the rest pending."""
+        if not result.lifted:
+            return result
+        from repro.lang import expr as E
+        bound = set(result.op.publish) | set(available)
+        ready: List[LiftedCondition] = []
+        waiting: List[LiftedCondition] = []
+        for owner, condition in result.lifted:
+            needed = set(E.external_references(condition, owner)) | {owner}
+            if needed <= bound:
+                ready.append((owner, condition))
+            else:
+                waiting.append((owner, condition))
+        if not ready:
+            return result
+        filtered = self.apply_filter(BuildResult(result.op, ready), window)
+        return BuildResult(filtered.op, waiting)
+
+    # -- ordering ------------------------------------------------------------
+
+    @staticmethod
+    def order_for_probes(parts: Sequence[LogicalNode],
+                         available: FrozenSet[str]) -> Tuple[List[int], bool]:
+        """Topological order of And parts so providers precede consumers.
+
+        Returns (order, acyclic).  Stable: keeps the original order among
+        unconstrained parts.  When a reference cycle exists, returns the
+        original order with ``acyclic=False`` (callers must lift).
+        """
+        n = len(parts)
+        remaining = list(range(n))
+        ordered: List[int] = []
+        bound: Set[str] = set(available)
+        while remaining:
+            progressed = False
+            for index in list(remaining):
+                if set(parts[index].requires) <= bound:
+                    ordered.append(index)
+                    remaining.remove(index)
+                    bound |= set(parts[index].provides)
+                    progressed = True
+            if not progressed:
+                return list(range(n)), False
+        return ordered, True

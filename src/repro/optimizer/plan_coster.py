@@ -1,0 +1,231 @@
+"""Cost estimation for a *given* physical plan tree.
+
+The DP planner costs plans while searching; this module applies the same
+Table 1 formulas to an already-constructed operator tree.  It powers the
+NDCG experiment (Section 6.2.3): every rule-based plan family is costed by
+the model and ranked against its measured execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import PlanError
+from repro.exec.and_or import (LeftProbeAnd, RightProbeAnd, SortMergeAnd,
+                               SortMergeOr)
+from repro.exec.base import PhysicalOperator
+from repro.exec.concat import (LeftProbeConcat, RightProbeConcat,
+                               SortMergeConcat, WildWindowConcat)
+from repro.exec.filter_op import FilterOp
+from repro.exec.kleene import MaterializeKleene
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.exec.seggen import SegGenFilter, SegGenIndexing, SegGenWindow
+from repro.exec.special import SubPatternCache
+from repro.lang import expr as E
+from repro.optimizer import costmodel as CM
+from repro.optimizer.cost_params import (DEFAULT_COST_PARAMS, CostParams,
+                                         expected_distinct)
+from repro.optimizer.stats import StatsCatalog
+from repro.timeseries.series import Series
+
+
+class PlanCostEstimator:
+    """Estimate (cost, output cardinality) of a physical plan tree."""
+
+    def __init__(self, stats: StatsCatalog, series: Series,
+                 params: CostParams = DEFAULT_COST_PARAMS):
+        self.stats = stats
+        self.series = series
+        self.params = params
+        self.n = max(stats.series_length or len(series), 2)
+
+    def estimate(self, op: PhysicalOperator) -> float:
+        cost, _card = self._visit(op, float(self.n), float(self.n))
+        return cost
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _sel_w(self, op: PhysicalOperator, ls: float, le: float,
+               lse: float) -> float:
+        bounds = CM.window_duration_bounds(op.window, self.series)
+        return max(CM.boxed_pair_fraction(ls, le, lse, bounds), 1e-9)
+
+    def _duration_bounds(self, op: PhysicalOperator) -> CM.Bounds:
+        return CM.window_duration_bounds(op.window, self.series)
+
+    def _leaf_costs(self, op, ls: float, le: float,
+                    lse: float) -> Tuple[float, float]:
+        params = self.params
+        var = op.var
+        sel_w = self._sel_w(op, ls, le, lse)
+        c_in = max(ls * le * sel_w, 1e-6)
+        selectivity = self.stats.selectivity(var.name)
+        c_out = max(c_in * selectivity, 1e-6)
+        avg_len = self.stats.avg_length(var.name)
+        per_direct = params.expr_eval_cost
+        build = 0.0
+        per_indexed = params.expr_eval_cost
+        for call in E.aggregate_calls(var.condition):
+            from repro.aggregates.registry import DEFAULT_REGISTRY
+            agg = DEFAULT_REGISTRY.get(call.name)
+            per_direct += params.f_delta(agg, avg_len)
+            can_index = (agg.supports_index and not getattr(
+                agg, "needs_series_context", False))
+            if can_index:
+                build += params.f_ind(agg, lse)
+                per_indexed += params.f_lookup(agg, avg_len)
+            else:
+                per_indexed += params.f_delta(agg, avg_len)
+        if isinstance(op, SegGenIndexing):
+            cost = params.f_op("SegGenIndexing", c_in + c_out) + build \
+                + c_in * per_indexed
+        else:
+            cost = params.f_op("SegGenFilter", c_in + c_out) \
+                + c_in * per_direct
+        return cost, c_out
+
+    # -- recursion ---------------------------------------------------------------
+
+    def _visit(self, op: PhysicalOperator, ls: float,
+               le: float) -> Tuple[float, float]:
+        params = self.params
+        lse = CM.lse_estimate(ls, le, self.n)
+
+        if isinstance(op, SegGenWindow):
+            sel_w = self._sel_w(op, ls, le, lse)
+            c_in = max(ls * le * sel_w, 1e-6)
+            return params.f_op("SegGenWindow", 2 * c_in), c_in
+        if isinstance(op, (SegGenFilter, SegGenIndexing)):
+            return self._leaf_costs(op, ls, le, lse)
+        if isinstance(op, SubPatternCache):
+            return self._visit(op.child, ls, le)
+        if isinstance(op, FilterOp):
+            child_cost, c_in = self._visit(op.child, ls, le)
+            selectivity = 1.0
+            per_row = 0.0
+            for owner, condition in op.conditions:
+                selectivity *= self.stats.selectivity(owner)
+                per_row += params.expr_eval_cost
+                for call in E.aggregate_calls(condition):
+                    from repro.aggregates.registry import DEFAULT_REGISTRY
+                    agg = DEFAULT_REGISTRY.get(call.name)
+                    per_row += params.f_delta(
+                        agg, self.stats.avg_length(owner))
+            c_out = max(c_in * selectivity, 1e-6)
+            cost = params.f_op("Filter", c_in + c_out) + c_in * per_row \
+                + child_cost
+            return cost, c_out
+        if isinstance(op, WildWindowConcat):
+            left_cost, c_l = self._visit(op.left, ls, lse)
+            right_cost, c_r = self._visit(op.right, lse, le)
+            pad_bounds = CM.window_duration_bounds(op.pad_window,
+                                                   self.series)
+            pad_width = max(min(pad_bounds[1], lse) - pad_bounds[0] + 1, 1.0)
+            c_out = max(c_l * c_r * pad_width / max(lse, 1.0), 1e-6)
+            cost = params.f_op("WildWindowConcat", c_l + c_r + c_out) \
+                + left_cost + right_cost
+            return cost, c_out
+        if isinstance(op, (SortMergeConcat, RightProbeConcat,
+                           LeftProbeConcat)):
+            window_bounds = self._duration_bounds(op)
+            left_bounds = CM.window_duration_bounds(op.left.window,
+                                                    self.series)
+            right_bounds = CM.window_duration_bounds(op.right.window,
+                                                     self.series)
+            cond_sel = max(CM.concat_window_selectivity(
+                window_bounds, left_bounds, right_bounds, op.gap, lse), 1e-9)
+            left_cost, c_l = self._visit(op.left, ls, lse)
+            right_cost, c_r = self._visit(op.right, lse, le)
+            c_out = max(c_l * c_r / max(lse, 1.0) * cond_sel, 1e-6)
+            if isinstance(op, SortMergeConcat):
+                cost = params.f_op("SortMergeConcat", c_l + c_r + c_out) \
+                    + left_cost + right_cost
+                return cost, c_out
+            if isinstance(op, RightProbeConcat):
+                probe_cost, c_r_unit = self._visit(op.right, 1.0, le)
+                if op.right.requires:
+                    distinct = c_l
+                else:
+                    distinct = expected_distinct(c_l, lse)
+                cost = params.f_op("RightProbeConcat",
+                                   c_l + c_r_unit + c_out) + left_cost \
+                    + distinct * (probe_cost + params.probe_overhead)
+                return cost, c_out
+            probe_cost, c_l_unit = self._visit(op.left, ls, 1.0)
+            if op.left.requires:
+                distinct = c_r
+            else:
+                distinct = expected_distinct(c_r, lse)
+            cost = params.f_op("LeftProbeConcat",
+                               c_l_unit + c_r + c_out) + right_cost \
+                + distinct * (probe_cost + params.probe_overhead)
+            return cost, c_out
+        if isinstance(op, (SortMergeAnd, RightProbeAnd, LeftProbeAnd)):
+            sel_w = self._sel_w(op, ls, le, lse)
+            box = max(ls * le * sel_w, 1e-6)
+            left_cost, c_l = self._visit(op.left, ls, le)
+            right_cost, c_r = self._visit(op.right, ls, le)
+            c_out = max(c_l * c_r / box, 1e-6)
+            name = type(op).__name__
+            if isinstance(op, SortMergeAnd) and name == "NestedLoopAnd":
+                cost = params.f_op("SortMergeAnd", c_l * c_r + c_out) \
+                    + left_cost + right_cost
+                return cost, c_out
+            if isinstance(op, RightProbeAnd):
+                probe_cost, c_r_unit = self._visit(op.right, 1.0, 1.0)
+                cost = params.f_op("RightProbeAnd",
+                                   c_l + c_r_unit + c_out) + left_cost \
+                    + c_l * (probe_cost / max(sel_w, 1e-9)
+                             + params.probe_overhead)
+                return cost, c_out
+            if isinstance(op, LeftProbeAnd):
+                probe_cost, c_l_unit = self._visit(op.left, 1.0, 1.0)
+                cost = params.f_op("LeftProbeAnd",
+                                   c_l_unit + c_r + c_out) + right_cost \
+                    + c_r * (probe_cost / max(sel_w, 1e-9)
+                             + params.probe_overhead)
+                return cost, c_out
+            cost = params.f_op("SortMergeAnd", c_l + c_r + c_out) \
+                + left_cost + right_cost
+            return cost, c_out
+        if isinstance(op, SortMergeOr):
+            left_cost, c_l = self._visit(op.left, ls, le)
+            right_cost, c_r = self._visit(op.right, ls, le)
+            c_out = c_l + c_r
+            cost = params.f_op("SortMergeOr", c_l + c_r + c_out) \
+                + left_cost + right_cost
+            return cost, c_out
+        if isinstance(op, (MaterializeNot, ProbeNot)):
+            sel_w = self._sel_w(op, ls, le, lse)
+            box = max(ls * le * sel_w, 1e-6)
+            if isinstance(op, MaterializeNot):
+                child_cost, c_in = self._visit(op.child, ls, le)
+                c_out = max(box - c_in, 1e-6)
+                return params.f_op("MaterializeNot", c_in + c_out) \
+                    + child_cost, c_out
+            child_cost, c_unit = self._visit(op.child, 1.0, 1.0)
+            c_out = max(box - box * min(c_unit, 1.0), 1e-6)
+            cost = params.f_op("ProbeNot", c_unit + c_out) \
+                + box * (child_cost / max(c_unit, 1.0)
+                         + params.probe_overhead)
+            return cost, c_out
+        if isinstance(op, MaterializeKleene):
+            child_cost, c_in = self._visit(op.child, lse, lse)
+            window_bounds = self._duration_bounds(op)
+            child_bounds = CM.window_duration_bounds(op.child.window,
+                                                     self.series)
+            if not op.window_aware:
+                # Window-unaware assembly explores the full span.
+                window_bounds = (0.0, float(lse))
+            sel1 = max(CM.containment_selectivity(window_bounds,
+                                                  child_bounds, lse), 1e-9)
+            sel2 = max(CM.concat_window_selectivity(
+                window_bounds, child_bounds, child_bounds, op.gap, lse),
+                1e-9)
+            ratio = (ls * le) / max(lse * lse, 1.0)
+            c_out = max(c_in * ratio * sel1
+                        + (c_in ** 2) * ratio / max(lse, 1.0) * sel2, 1e-6)
+            cost = params.f_op("MaterializeKleene", c_in + c_out) \
+                + child_cost
+            return cost, c_out
+        raise PlanError(f"cannot estimate cost of operator {op!r}")

@@ -1,0 +1,239 @@
+"""Offline cost-parameter profiling (Appendix D.1/D.2, Tables 5 & 6).
+
+``profile_operators`` measures each physical operator on synthetic
+uniform-random segment sets and fits the one-parameter linear cost function
+of Equation 1 by least squares through the origin.  ``profile_aggregates``
+does the same for aggregate indexing/lookup/direct-evaluation costs under
+their declared shapes.  ``profile_all`` returns a ready
+:class:`~repro.optimizer.cost_params.CostParams` so installations can
+re-bootstrap the cost model for their own machine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
+from repro.exec.base import Env, ExecContext, PhysicalOperator
+from repro.exec.and_or import (LeftProbeAnd, RightProbeAnd, SortMergeAnd,
+                               SortMergeOr)
+from repro.exec.concat import (LeftProbeConcat, RightProbeConcat,
+                               SortMergeConcat, WildWindowConcat)
+from repro.exec.filter_op import FilterOp
+from repro.exec.kleene import MaterializeKleene
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.exec.seggen import SegGenFilter, SegGenIndexing, SegGenWindow
+from repro.lang import expr as E
+from repro.lang.query import VarDef
+from repro.lang.windows import WindowConjunction, WindowSpec
+from repro.optimizer.cost_params import CostParams
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+from repro.timeseries.series import Series
+
+
+class _StubSource(PhysicalOperator):
+    """Leaf that replays a fixed synthetic segment list."""
+
+    name = "Stub"
+
+    def __init__(self, segments: Sequence[Tuple[int, int]]):
+        super().__init__(WindowConjunction.wild())
+        self._segments = [Segment(s, e) for s, e in segments]
+
+    def eval(self, ctx: ExecContext, sp: SearchSpace,
+             refs: Env) -> Iterable[Segment]:
+        for segment in self._segments:
+            if sp.contains(segment.start, segment.end):
+                yield segment
+
+
+def _uniform_series(n: int, seed: int = 0) -> Series:
+    rng = np.random.default_rng(seed)
+    return Series({"tstamp": np.arange(float(n)),
+                   "val": rng.uniform(0.0, 100.0, n)}, "tstamp")
+
+
+def _uniform_segments(rng: np.random.Generator, count: int, n: int,
+                      max_len: int = 12) -> List[Tuple[int, int]]:
+    starts = rng.integers(0, max(n - max_len, 1), size=count)
+    lengths = rng.integers(0, max_len, size=count)
+    return sorted({(int(s), int(min(s + l, n - 1)))
+                   for s, l in zip(starts, lengths)})
+
+
+def _fit_linear(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope through the origin."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    denominator = float(np.dot(xs, xs))
+    if denominator <= 0:
+        return 0.0
+    return max(float(np.dot(xs, ys) / denominator), 0.0)
+
+
+def _time_eval(op: PhysicalOperator, series: Series,
+               repeats: int = 3) -> Tuple[float, int]:
+    """(best wall time in ns, output cardinality) over the full space."""
+    sp = SearchSpace.full(len(series))
+    best = float("inf")
+    out = 0
+    for _ in range(repeats):
+        ctx = ExecContext(series)
+        t0 = time.perf_counter_ns()
+        out = sum(1 for _ in op.eval(ctx, sp, {}))
+        best = min(best, time.perf_counter_ns() - t0)
+    return best, out
+
+
+def profile_operators(sizes: Sequence[int] = (200, 400, 800),
+                      seed: int = 11) -> Dict[str, float]:
+    """Fit ``w`` in f_op per physical operator (regenerates Table 5)."""
+    rng = np.random.default_rng(seed)
+    wild = WindowConjunction.wild()
+    samples: Dict[str, List[Tuple[float, float]]] = {}
+
+    def record(name: str, cardinality_sum: float, nanos: float) -> None:
+        samples.setdefault(name, []).append((cardinality_sum, nanos))
+
+    for n in sizes:
+        series = _uniform_series(n, seed)
+        count = max(n // 2, 32)
+        lefts = _uniform_segments(rng, count, n)
+        rights = _uniform_segments(rng, count, n)
+
+        # Leaves.
+        window = WindowConjunction([WindowSpec.point(0, 10)])
+        op = SegGenWindow(window, "W")
+        nanos, out = _time_eval(op, series)
+        record("SegGenWindow", out + out, nanos)
+
+        var = VarDef("X", True, (WindowSpec.point(0, 10),),
+                     E.Binary(">", E.PointAccess("last",
+                                                 E.ColumnRef(None, "val")),
+                              E.Literal(50.0)), frozenset())
+        for cls, label in ((SegGenFilter, "SegGenFilter"),
+                           (SegGenIndexing, "SegGenIndexing")):
+            op = cls(var, window)
+            nanos, out = _time_eval(op, series)
+            record(label, (out + 11 * n) / 1.0, nanos)
+
+        # Binary operators over stubbed inputs.
+        pairs = [
+            (SortMergeConcat(_StubSource(lefts), _StubSource(rights), 0,
+                             wild), "SortMergeConcat", True),
+            (RightProbeConcat(_StubSource(lefts), _StubSource(rights), 0,
+                              wild), "RightProbeConcat", False),
+            (LeftProbeConcat(_StubSource(lefts), _StubSource(rights), 0,
+                             wild), "LeftProbeConcat", False),
+            (SortMergeAnd(_StubSource(lefts), _StubSource(lefts), wild),
+             "SortMergeAnd", True),
+            (RightProbeAnd(_StubSource(lefts), _StubSource(lefts), wild),
+             "RightProbeAnd", False),
+            (LeftProbeAnd(_StubSource(lefts), _StubSource(lefts), wild),
+             "LeftProbeAnd", False),
+            (SortMergeOr(_StubSource(lefts), _StubSource(rights), wild),
+             "SortMergeOr", True),
+            (WildWindowConcat(_StubSource(lefts), _StubSource(rights),
+                              wild, wild), "WildWindowConcat", True),
+        ]
+        for op, label, both in pairs:
+            nanos, out = _time_eval(op, series)
+            if both:
+                record(label, len(lefts) + len(rights) + out, nanos)
+            else:
+                record(label, len(lefts) + out, nanos)
+
+        # Unary operators.
+        op = MaterializeNot(_StubSource(lefts),
+                            WindowConjunction([WindowSpec.point(0, 10)]))
+        nanos, out = _time_eval(op, series)
+        record("MaterializeNot", len(lefts) + out, nanos)
+
+        op = ProbeNot(_StubSource(lefts),
+                      WindowConjunction([WindowSpec.point(0, 3)]))
+        nanos, out = _time_eval(op, series)
+        record("ProbeNot", len(lefts) + out, nanos)
+
+        op = MaterializeKleene(_StubSource(lefts), 1, 3, 0,
+                               WindowConjunction([WindowSpec.point(0, 30)]))
+        nanos, out = _time_eval(op, series)
+        record("MaterializeKleene", len(lefts) + out, nanos)
+
+        op = FilterOp(_StubSource(lefts),
+                      [("X", E.Binary(">", E.Literal(1.0),
+                                      E.Literal(0.0)))], wild)
+        nanos, out = _time_eval(op, series)
+        record("Filter", len(lefts) + out, nanos)
+
+    return {name: _fit_linear([x for x, _ in points],
+                              [y for _, y in points])
+            for name, points in samples.items()}
+
+
+def profile_aggregates(registry: AggregateRegistry = DEFAULT_REGISTRY,
+                       names: Optional[Sequence[str]] = None,
+                       sizes: Sequence[int] = (200, 400, 800),
+                       seed: int = 13) \
+        -> Dict[str, Tuple[float, float, float]]:
+    """Fit (w_ind, w_lookup, w_direct) per aggregate (regenerates Table 6)."""
+    from repro.optimizer.cost_params import shape_value
+
+    if names is None:
+        names = ["linear_regression_r2", "mann_kendall_test",
+                 "equal_up_down_ticks", "sum", "avg", "min", "max",
+                 "stddev"]
+    rng = np.random.default_rng(seed)
+    results: Dict[str, Tuple[float, float, float]] = {}
+    for name in names:
+        agg = registry.get(name)
+        ind_points: List[Tuple[float, float]] = []
+        lookup_points: List[Tuple[float, float]] = []
+        direct_points: List[Tuple[float, float]] = []
+        for n in sizes:
+            series = _uniform_series(n, seed)
+            columns = [series.column("tstamp"), series.column("val")]
+            columns = columns[:agg.num_columns]
+            if agg.supports_index:
+                t0 = time.perf_counter_ns()
+                index = agg.build_index(columns, [])
+                build_ns = time.perf_counter_ns() - t0
+                ind_points.append((shape_value(agg.index_cost_shape, n),
+                                   build_ns))
+                segments = _uniform_segments(rng, 64, n)
+                t0 = time.perf_counter_ns()
+                for start, end in segments:
+                    index.lookup(start, end)
+                per = (time.perf_counter_ns() - t0) / max(len(segments), 1)
+                avg_len = float(np.mean([e - s + 1 for s, e in segments]))
+                lookup_points.append(
+                    (shape_value(agg.lookup_cost_shape, avg_len), per))
+            segments = _uniform_segments(rng, 64, n)
+            t0 = time.perf_counter_ns()
+            for start, end in segments:
+                arrays = [col[start:end + 1] for col in columns]
+                agg.evaluate(arrays, [])
+            per = (time.perf_counter_ns() - t0) / max(len(segments), 1)
+            avg_len = float(np.mean([e - s + 1 for s, e in segments]))
+            direct_points.append(
+                (shape_value(agg.direct_cost_shape, avg_len), per))
+        w_ind = _fit_linear(*zip(*[(x, y) for x, y in ind_points])) \
+            if ind_points else 0.0
+        w_lookup = _fit_linear(*zip(*[(x, y) for x, y in lookup_points])) \
+            if lookup_points else 0.0
+        w_direct = _fit_linear(*zip(*[(x, y) for x, y in direct_points]))
+        results[name] = (w_ind, w_lookup, w_direct)
+    return results
+
+
+def profile_all(sizes: Sequence[int] = (200, 400),
+                seed: int = 17) -> CostParams:
+    """Re-bootstrap every cost parameter on this machine."""
+    params = CostParams()
+    params.operator_weights.update(profile_operators(sizes, seed))
+    for name, weights in profile_aggregates(sizes=sizes, seed=seed).items():
+        params.aggregate_weights[name] = weights
+    return params

@@ -1,0 +1,8 @@
+"""Logical planning: search-space algebra, logical trees, window rewrites."""
+
+from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
+                                LogicalNode, build_logical_plan)
+from repro.plan.search_space import SearchSpace
+
+__all__ = ["LAnd", "LConcat", "LKleene", "LNot", "LOr", "LVar",
+           "LogicalNode", "SearchSpace", "build_logical_plan"]

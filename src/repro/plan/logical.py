@@ -1,0 +1,422 @@
+"""Logical plans: the pattern tree annotated with embedded windows.
+
+Building a logical plan from a bound query applies the paper's two logical
+rewrite rules (Section 3, "Life of a Query"):
+
+1. **Window embedding** — window-only variables combined through ``And`` are
+   removed and their windows embedded directly into the ``And`` node and its
+   remaining children; point variables get an implicit fixed window of
+   duration 0.
+2. **Window push-down** — embedded windows propagate to descendants; bounds
+   crossing a Concatenation or Kleene boundary are relaxed to upper bounds
+   only (a child segment can never out-span its parent).
+
+Every node carries:
+
+* ``window`` — the embedded :class:`WindowConjunction` it must satisfy;
+* ``left_kind`` / ``right_kind`` — whether its leftmost/rightmost atomic
+  unit is a point or a segment variable, which fixes the concatenation join
+  rule per adjacent pair (shared boundary vs disjoint; DESIGN.md §3);
+* ``provides`` / ``requires`` — variable names it can bind vs the external
+  references its conditions need (the ``refs`` dependency graph).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.errors import BindError, PlanError
+from repro.lang import pattern as P
+from repro.lang.query import Query, VarDef
+from repro.lang.windows import WindowConjunction, WindowSpec
+
+_ids = itertools.count()
+
+POINT = "point"
+SEGMENT = "segment"
+
+
+@dataclass
+class LogicalNode:
+    """Base logical plan node."""
+
+    window: WindowConjunction = field(default_factory=WindowConjunction.wild)
+    node_id: int = field(default_factory=lambda: next(_ids))
+
+    # Boundary kinds; subclasses override where needed.
+    left_kind: str = SEGMENT
+    right_kind: str = SEGMENT
+
+    def children(self) -> Tuple["LogicalNode", ...]:
+        return ()
+
+    @property
+    def provides(self) -> FrozenSet[str]:
+        """Variable names bound somewhere inside this sub-tree."""
+        names: set = set()
+        for child in self.children():
+            names |= child.provides
+        return frozenset(names)
+
+    @property
+    def requires(self) -> FrozenSet[str]:
+        """External variables whose segments conditions in this sub-tree
+        reference (must arrive via ``refs``)."""
+        needed: set = set()
+        for child in self.children():
+            needed |= child.requires
+        return frozenset(needed - self.provides)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class LVar(LogicalNode):
+    """Leaf: one point or segment variable."""
+
+    var: VarDef = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.var is None:
+            raise BindError("LVar needs a variable definition")
+        kind = POINT if not self.var.is_segment else SEGMENT
+        self.left_kind = kind
+        self.right_kind = kind
+
+    @property
+    def provides(self) -> FrozenSet[str]:
+        return frozenset({self.var.name})
+
+    @property
+    def requires(self) -> FrozenSet[str]:
+        return frozenset(self.var.external_refs)
+
+    def describe(self) -> str:
+        suffix = f" [{self.window.describe()}]" if not self.window.is_wild else ""
+        return f"{self.var.name}{suffix}"
+
+
+@dataclass
+class LConcat(LogicalNode):
+    """N-ary concatenation; ``gaps[i]`` is the join gap between part i and
+    i+1 (0 = shared boundary, 1 = disjoint point join)."""
+
+    parts: Tuple[LogicalNode, ...] = ()
+    gaps: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise PlanError("LConcat needs at least two parts")
+        if len(self.gaps) != len(self.parts) - 1:
+            raise PlanError("LConcat needs one gap per adjacent pair")
+        self.left_kind = self.parts[0].left_kind
+        self.right_kind = self.parts[-1].right_kind
+
+    def children(self):
+        return self.parts
+
+    def describe(self) -> str:
+        bits = [self.parts[0].describe()]
+        for gap, part in zip(self.gaps, self.parts[1:]):
+            bits.append("." if gap == 0 else "·")
+            bits.append(part.describe())
+        body = " ".join(bits)
+        if not self.window.is_wild:
+            return f"({body})[{self.window.describe()}]"
+        return f"({body})"
+
+
+@dataclass
+class LAnd(LogicalNode):
+    """N-ary conjunction: all parts match the same segment."""
+
+    parts: Tuple[LogicalNode, ...] = ()
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise PlanError("LAnd needs at least two parts")
+        self.left_kind = POINT if any(
+            p.left_kind == POINT for p in self.parts) else SEGMENT
+        self.right_kind = POINT if any(
+            p.right_kind == POINT for p in self.parts) else SEGMENT
+
+    def children(self):
+        return self.parts
+
+    def describe(self) -> str:
+        body = " & ".join(p.describe() for p in self.parts)
+        if not self.window.is_wild:
+            return f"({body})[{self.window.describe()}]"
+        return f"({body})"
+
+
+@dataclass
+class LOr(LogicalNode):
+    """N-ary alternation."""
+
+    parts: Tuple[LogicalNode, ...] = ()
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise PlanError("LOr needs at least two parts")
+        self.left_kind = POINT if all(
+            p.left_kind == POINT for p in self.parts) else SEGMENT
+        self.right_kind = POINT if all(
+            p.right_kind == POINT for p in self.parts) else SEGMENT
+
+    def children(self):
+        return self.parts
+
+    def describe(self) -> str:
+        body = " | ".join(p.describe() for p in self.parts)
+        if not self.window.is_wild:
+            return f"({body})[{self.window.describe()}]"
+        return f"({body})"
+
+
+@dataclass
+class LKleene(LogicalNode):
+    """Repetition of the child between ``min_reps`` and ``max_reps`` times.
+
+    ``gap`` is the join gap between consecutive repetitions, derived from
+    the child's boundary kinds.
+    """
+
+    child: LogicalNode = None  # type: ignore[assignment]
+    min_reps: int = 1
+    max_reps: Optional[int] = None
+    gap: int = 0
+
+    def __post_init__(self):
+        if self.child is None:
+            raise PlanError("LKleene needs a child")
+        self.left_kind = self.child.left_kind
+        self.right_kind = self.child.right_kind
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        hi = "inf" if self.max_reps is None else self.max_reps
+        body = f"{self.child.describe()}{{{self.min_reps},{hi}}}"
+        if not self.window.is_wild:
+            return f"({body})[{self.window.describe()}]"
+        return body
+
+
+@dataclass
+class LNot(LogicalNode):
+    """Negation of the child within the node's windowed search space."""
+
+    child: LogicalNode = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.child is None:
+            raise PlanError("LNot needs a child")
+
+    def children(self):
+        return (self.child,)
+
+    @property
+    def provides(self) -> FrozenSet[str]:
+        # A negation match asserts the *absence* of the child; it binds no
+        # referenceable variables.
+        return frozenset()
+
+    def describe(self) -> str:
+        body = f"~{self.child.describe()}"
+        if not self.window.is_wild:
+            return f"({body})[{self.window.describe()}]"
+        return body
+
+
+def _join_gap(left: LogicalNode, right: LogicalNode) -> int:
+    """Join gap between two adjacent concatenation parts (DESIGN.md §3)."""
+    if left.right_kind == POINT and right.left_kind == POINT:
+        return 1
+    return 0
+
+
+#: Implicit fixed window for point variables (duration 0).
+_POINT_WINDOW = WindowSpec.point_fixed(0)
+
+
+def _build(node: P.Pattern, query: Query) -> LogicalNode:
+    """Recursive pattern → logical tree conversion with window embedding."""
+    if isinstance(node, P.VarRef):
+        var = query.var(node.name)
+        window = var.window_conjunction
+        if not var.is_segment:
+            window = window.with_spec(_POINT_WINDOW)
+        return LVar(window=window, var=var)
+    if isinstance(node, P.And):
+        parts = [_build(child, query) for child in node.parts]
+        # Window embedding: pull the windows of window-only wild leaves out
+        # of the And and embed them into the node (and thus, via push-down,
+        # into every sibling).
+        window = WindowConjunction.wild()
+        kept: List[LogicalNode] = []
+        for part in parts:
+            is_window_leaf = (isinstance(part, LVar) and part.var.is_segment
+                              and part.var.is_window_only
+                              and not part.var.external_refs)
+            if is_window_leaf:
+                window = window.and_also(part.window)
+            else:
+                kept.append(part)
+        if not kept:
+            # Pure window pattern: keep one window leaf to generate segments.
+            only = parts[0]
+            only.window = only.window.and_also(window)
+            return only
+        if len(kept) == 1:
+            kept[0].window = kept[0].window.and_also(window)
+            return kept[0]
+        return LAnd(window=window, parts=tuple(kept))
+    if isinstance(node, P.Or):
+        parts = tuple(_build(child, query) for child in node.parts)
+        return LOr(parts=parts)
+    if isinstance(node, P.Concat):
+        parts = tuple(_build(child, query) for child in node.parts)
+        gaps = tuple(_join_gap(parts[i], parts[i + 1])
+                     for i in range(len(parts) - 1))
+        return LConcat(parts=parts, gaps=gaps)
+    if isinstance(node, P.Kleene):
+        child = _build(node.child, query)
+        gap = _join_gap(child, child)
+        return LKleene(child=child, min_reps=node.min_reps,
+                       max_reps=node.max_reps, gap=gap)
+    if isinstance(node, P.Not):
+        child = _build(node.child, query)
+        return LNot(child=child)
+    raise PlanError(f"unknown pattern node {node!r}")
+
+
+def _push_windows(node: LogicalNode, inherited: WindowConjunction) -> None:
+    """Window push-down (rewrite rule 2)."""
+    node.window = node.window.and_also(inherited)
+    if isinstance(node, (LAnd, LOr)):
+        for child in node.children():
+            _push_windows(child, node.window)
+    elif isinstance(node, LConcat):
+        relaxed = node.window.relax_lower()
+        for child in node.parts:
+            _push_windows(child, relaxed)
+    elif isinstance(node, LKleene):
+        _push_windows(node.child, node.window.relax_lower())
+    elif isinstance(node, LNot):
+        # The window is fused with the Not and pushed to its child
+        # (Appendix C.2 / Figure 20): candidates come from the windowed
+        # space, and the child is tested within that same space.
+        _push_windows(node.child, node.window)
+    # Leaves keep the conjunction accumulated so far.
+
+
+def walk(node: LogicalNode):
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def _normalize_optionals(pattern: P.Pattern, query: Query) -> P.Pattern:
+    """Expand zero-minimum quantifiers over point variables.
+
+    ``A?`` and ``A*`` admit an *empty* match, which the segment executor
+    cannot represent directly.  For point-variable children the expansion
+    into alternations is finite and exact:
+
+    * inside a Concatenation, each optional part is either omitted or
+      present with minimum 1 (``(A? B) -> (A{1,1} B | B)``);
+    * elsewhere, an empty match can never cover a non-empty segment, so
+      the minimum simply rises to 1.
+
+    Zero-minimum quantifiers over *segment* variables remain rejected with
+    a rewrite hint (the Appendix B rewriter turns ``x*`` into a wild
+    segment variable instead).
+    """
+
+    def is_point_only(node: P.Pattern) -> bool:
+        return all(not query.var(sub.name).is_segment
+                   for sub in P.walk(node) if isinstance(sub, P.VarRef))
+
+    def rewrite(node: P.Pattern) -> P.Pattern:
+        if isinstance(node, P.VarRef):
+            return node
+        if isinstance(node, P.Kleene):
+            child = rewrite(node.child)
+            if node.min_reps == 0 and is_point_only(child):
+                if node.max_reps == 1:
+                    return child  # bare optional outside a Concat
+                return P.Kleene(child, 1, node.max_reps)
+            return P.Kleene(child, node.min_reps, node.max_reps)
+        if isinstance(node, P.And):
+            return P.conj(*[rewrite(part) for part in node.parts])
+        if isinstance(node, P.Or):
+            return P.disj(*[rewrite(part) for part in node.parts])
+        if isinstance(node, P.Not):
+            return P.Not(rewrite(node.child))
+        if isinstance(node, P.Concat):
+            parts = [rewrite_concat_part(part) for part in node.parts]
+            variants: List[Tuple[P.Pattern, ...]] = [()]
+            for options in parts:
+                variants = [prefix + (option,)
+                            for prefix in variants
+                            for option in options
+                            if option is not None] + \
+                           [prefix for prefix in variants
+                            if None in options]
+            alternatives = []
+            for variant in variants:
+                if variant:
+                    alternatives.append(P.concat(*variant))
+            if not alternatives:
+                raise PlanError("pattern admits only the empty match")
+            return P.disj(*dict.fromkeys(alternatives))
+        raise PlanError(f"unknown pattern node {node!r}")
+
+    def rewrite_concat_part(part: P.Pattern):
+        """Options for one Concat part: patterns, or None for 'omitted'."""
+        if isinstance(part, P.Kleene) and part.min_reps == 0 and \
+                is_point_only(part.child):
+            child = rewrite(part.child)
+            present = child if part.max_reps == 1 else \
+                P.Kleene(child, 1, part.max_reps)
+            return (present, None)
+        return (rewrite(part),)
+
+    return rewrite(pattern)
+
+
+def build_logical_plan(query: Query,
+                       push_windows: bool = True) -> LogicalNode:
+    """Build the rewritten logical plan for a bound query.
+
+    ``push_windows=False`` skips rewrite rule 2 (window push-down) — used
+    by ablation experiments and equivalence tests; execution remains
+    correct because every node still checks its own embedded window.
+    """
+    pattern = _normalize_optionals(query.pattern, query)
+    root = _build(pattern, query)
+    if push_windows:
+        _push_windows(root, WindowConjunction.wild())
+    _validate_references(root)
+    return root
+
+
+def _validate_references(root: LogicalNode) -> None:
+    """Reject references to variables that appear nowhere in the pattern."""
+    available = root.provides
+    # Collect names bound anywhere (including inside Not sub-trees, which do
+    # not "provide" them upward but do bind them for their own conditions).
+    bound = {node.var.name for node in walk(root) if isinstance(node, LVar)}
+    for node in walk(root):
+        if isinstance(node, LVar):
+            missing = set(node.var.external_refs) - bound
+            if missing:
+                raise PlanError(
+                    f"variable {node.var.name!r} references {sorted(missing)} "
+                    f"which appear nowhere in the pattern")
+    del available

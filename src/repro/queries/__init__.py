@@ -1,0 +1,7 @@
+"""The 11 evaluation query templates of Table 3 / Appendix E."""
+
+from repro.queries.templates import (ALL_TEMPLATES, TEMPLATES, QueryTemplate,
+                                     get_template, iter_instances)
+
+__all__ = ["ALL_TEMPLATES", "TEMPLATES", "QueryTemplate", "get_template",
+           "iter_instances"]

@@ -1,0 +1,361 @@
+"""The 11 query templates of Table 3 / Appendix E.
+
+Each :class:`QueryTemplate` bundles the canonical query text (in T-ReX's
+extended syntax), the dataset it runs on, and its parameter grid.  Param
+grids follow Appendix E; grids combine as a full cross product unless the
+template trims it (like the paper's "at least 9 parameter sets").
+
+Deviations from the appendix text are syntactic only and documented:
+
+* parameters are written ``:name``;
+* ``ZScoreOutlier(ℓ)`` takes its value column explicitly
+  (``zscore_outlier(price, ℓ)``);
+* grouping parentheses are explicit where the appendix relies on
+  precedence (e.g. ``rebound``'s RISE applies to the fall+recovery
+  sub-pattern);
+* a handful of numeric thresholds are re-tuned to the synthetic datasets
+  so result sets stay non-empty and run times stay CI-friendly
+  (``v_shape``'s minimum leg length, ``limit_sell``'s rise ratio,
+  ``AFA_Q1``'s K and the large-fall ratio sweeps, ``rptd_pttrn``'s k
+  range).  The sweep *shapes* match Appendix E; EXPERIMENTS.md records
+  the exact values used per run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DataError
+from repro.lang.query import Query, compile_query
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One parameterized query template."""
+
+    name: str
+    dataset: str
+    text: str
+    grid: Tuple[Tuple[str, Tuple[object, ...]], ...]
+    has_not: bool = False
+    has_nested_kleene: bool = False
+    description: str = ""
+
+    def param_sets(self) -> List[Dict[str, object]]:
+        """The template's parameter sets (cross product of the grid)."""
+        names = [name for name, _ in self.grid]
+        value_lists = [values for _, values in self.grid]
+        return [dict(zip(names, combo))
+                for combo in itertools.product(*value_lists)]
+
+    def compile(self, params: Dict[str, object]) -> Query:
+        return compile_query(self.text, params)
+
+
+def _grid(**kwargs) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+    return tuple((name, tuple(values)) for name, values in kwargs.items())
+
+
+V_SHAPE = QueryTemplate(
+    name="v_shape",
+    dataset="sp500",
+    description="Sub-series forming a V: linear fall then linear rise.",
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN ((DN & W) (UP & W)) & WINDOW
+DEFINE
+  SEGMENT W AS window(8, null),
+  SEGMENT DN AS linear_reg_r2_signed(DN.tstamp, DN.price) <= :down_r2_max,
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.price) >= :up_r2_min,
+  SEGMENT WINDOW AS window(1, :total_window_size)
+""",
+    grid=_grid(down_r2_max=[-0.7],
+               up_r2_min=[0.7, 0.9, 1.0],
+               total_window_size=[30, 60, 90]),
+)
+
+HEAD_SHLDR = QueryTemplate(
+    name="head_shldr",
+    dataset="sp500",
+    description="Head-and-shoulders: five alternating trends with "
+                "neck/head/shoulder ratio conditions.",
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN (((UP1 & W)
+  ((((DN1 & W) (UP2 & W & NCK_2_HD))) & SHLDR_2_HD)
+  ((((DN2 & W & HD_2_NCK) (UP3 & W))) & HD_2_SHLDR)
+  (DN3 & W)) & WINDOW)
+DEFINE
+  SEGMENT W AS window(3, 10),
+  SEGMENT DN1 AS linear_reg_r2_signed(DN1.tstamp, DN1.price) <= -:t,
+  SEGMENT DN2 AS linear_reg_r2_signed(DN2.tstamp, DN2.price) <= -:t,
+  SEGMENT DN3 AS linear_reg_r2_signed(DN3.tstamp, DN3.price) <= -:t,
+  SEGMENT UP1 AS linear_reg_r2_signed(UP1.tstamp, UP1.price) >= :t,
+  SEGMENT UP2 AS linear_reg_r2_signed(UP2.tstamp, UP2.price) >= :t,
+  SEGMENT UP3 AS linear_reg_r2_signed(UP3.tstamp, UP3.price) >= :t,
+  SEGMENT NCK_2_HD AS
+    last(NCK_2_HD.price) / first(NCK_2_HD.price) > :r1,
+  SEGMENT HD_2_NCK AS
+    first(HD_2_NCK.price) / last(HD_2_NCK.price) > :r1,
+  SEGMENT SHLDR_2_HD AS
+    last(SHLDR_2_HD.price) / first(SHLDR_2_HD.price) > :r2,
+  SEGMENT HD_2_SHLDR AS
+    first(HD_2_SHLDR.price) / last(HD_2_SHLDR.price) > :r2,
+  SEGMENT WINDOW AS window(1, :total_window_size)
+""",
+    grid=_grid(t=[0.7],
+               total_window_size=[40, 60, 80],
+               r1=[1.1, 1.15],
+               r2=[1.0, 1.05, 1.11]),
+)
+
+OUTLIER = QueryTemplate(
+    name="outlier",
+    dataset="sp500",
+    description="An up trend, a z-score outlier point, then another up "
+                "trend.",
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN (UP1 OUTLIER UP2) & WINDOW
+DEFINE
+  OUTLIER AS zscore_outlier(price, :outlier_context_size) > :z_score_min,
+  SEGMENT UP1 AS linear_reg_r2_signed(UP1.tstamp, UP1.price) >= :up_r2_min,
+  SEGMENT UP2 AS linear_reg_r2_signed(UP2.tstamp, UP2.price) >= :up_r2_min,
+  SEGMENT WINDOW AS window(1, :total_window_size)
+""",
+    grid=_grid(up_r2_min=[0.7],
+               total_window_size=[30],
+               outlier_context_size=[15, 20, 25],
+               z_score_min=[2.61, 2.63, 2.65]),
+)
+
+REBOUND = QueryTemplate(
+    name="rebound",
+    dataset="covid19",
+    description="COVID rebound: rise, sharp fall, then a stronger rise.",
+    text="""
+PARTITION BY county
+ORDER BY tstamp
+PATTERN (UP1 ((((DOWN & FALL) UP2)) & RISE)) & WINDOW
+DEFINE
+  SEGMENT FALL AS
+    last(FALL.confirmed) / first(FALL.confirmed) < :fall_ratio,
+  SEGMENT RISE AS
+    last(RISE.confirmed) / first(RISE.confirmed) > :rise_ratio,
+  SEGMENT UP1 AS
+    linear_reg_r2_signed(UP1.tstamp, UP1.confirmed) >= :t,
+  SEGMENT UP2 AS
+    linear_reg_r2_signed(UP2.tstamp, UP2.confirmed) >= :t,
+  SEGMENT DOWN AS
+    linear_reg_r2_signed(DOWN.tstamp, DOWN.confirmed) <= -:t,
+  SEGMENT WINDOW AS window(0, 60)
+""",
+    grid=_grid(t=[0.7],
+               fall_ratio=[0.4, 0.6, 0.8],
+               rise_ratio=[3, 4, 5]),
+)
+
+CLD_WAVE = QueryTemplate(
+    name="cld_wave",
+    dataset="weather",
+    description="Cold wave: steep linear drop inside a monotone multi-week "
+                "warm-up (Figure 3).",
+    text="""
+PARTITION BY city
+ORDER BY tstamp
+PATTERN ((W1 (DOWN & FALL & W2) W1) & UP_MK & WINDOW)
+DEFINE
+  SEGMENT W1 AS true,
+  SEGMENT W2 AS window(1, 5),
+  SEGMENT FALL AS last(FALL.temp) - first(FALL.temp) < -:fall_diff,
+  SEGMENT DOWN AS
+    linear_reg_r2_signed(DOWN.tstamp, DOWN.temp) <= -:down_r2_min,
+  SEGMENT WINDOW AS window(25, 30),
+  SEGMENT UP_MK AS mann_kendall_test(temp) >= 3.0
+""",
+    grid=_grid(fall_diff=[16, 18, 20],
+               down_r2_min=[0.85, 0.9, 0.95]),
+)
+
+CLD_WAVE_ALT = QueryTemplate(
+    name="cld_wave_alt",
+    dataset="weather",
+    description="Coarse-grained cold wave specification (Section 6.3's "
+                "T-ReX-Alt): DOWN and FALL merged into one variable.",
+    text="""
+PARTITION BY city
+ORDER BY tstamp
+PATTERN ((W1 (DOWN_AND_FALL & W2) W1) & UP_MK & WINDOW)
+DEFINE
+  SEGMENT W1 AS true,
+  SEGMENT W2 AS window(1, 5),
+  SEGMENT DOWN_AND_FALL AS
+    linear_reg_r2_signed(DOWN_AND_FALL.tstamp, DOWN_AND_FALL.temp)
+      <= -:down_r2_min
+    AND last(DOWN_AND_FALL.temp) - first(DOWN_AND_FALL.temp) < -:fall_diff,
+  SEGMENT WINDOW AS window(25, 30),
+  SEGMENT UP_MK AS mann_kendall_test(temp) >= 3.0
+""",
+    grid=_grid(fall_diff=[16, 18, 20],
+               down_r2_min=[0.85, 0.9, 0.95]),
+)
+
+RPTD_PTTRN = QueryTemplate(
+    name="rptd_pttrn",
+    dataset="taxi",
+    description="k repetitions of the daily taxi rise/fall pattern.",
+    text="""
+ORDER BY tstamp
+PATTERN (((W1 (UP & RISE & W2) W3 (DOWN & FALL & W2) W1) & WINDOW){:k})
+DEFINE
+  SEGMENT W1 AS true,
+  SEGMENT W2 AS window(20),
+  SEGMENT W3 AS window(4),
+  SEGMENT WINDOW AS window(48),
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.rides) >= :t,
+  SEGMENT DOWN AS linear_reg_r2_signed(DOWN.tstamp, DOWN.rides) <= -:t,
+  SEGMENT FALL AS last(FALL.rides) / first(FALL.rides) < 1 / :rise_ratio,
+  SEGMENT RISE AS last(RISE.rides) / first(RISE.rides) > :rise_ratio
+""",
+    grid=_grid(t=[0.7],
+               rise_ratio=[3, 4, 5],
+               k=[1, 2, 3]),
+)
+
+LIMIT_SELL = QueryTemplate(
+    name="limit_sell",
+    dataset="sp500",
+    description="Price at least doubles within the window with no "
+                "intermediate crash (uses Not).",
+    has_not=True,
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN (RISE & WINDOW & ~(FALL W))
+DEFINE
+  SEGMENT W AS true,
+  SEGMENT RISE AS last(RISE.price) / first(RISE.price) > :rise_ratio,
+  SEGMENT WINDOW AS window(1, :total_window_size),
+  SEGMENT FALL AS last(FALL.price) / first(FALL.price) < :fall_ratio
+""",
+    grid=_grid(rise_ratio=[1.3],
+               fall_ratio=[0.7, 0.8, 0.9],
+               total_window_size=[15, 30, 60]),
+)
+
+OPENCEP_Q1 = QueryTemplate(
+    name="OpenCEP_Q1",
+    dataset="nasdaq",
+    description="Three increasing peaks of one ticker within a time "
+                "window (OpenCEP benchmark Q1).",
+    text="""
+ORDER BY tstamp
+PATTERN ((A1 W (A2 & INC1) W (A3 & INC2)) & WINDOW)
+DEFINE
+  SEGMENT W AS true,
+  A1 AS A1.ticker = :a,
+  A2 AS A2.ticker = :a,
+  A3 AS A3.ticker = :a,
+  INC1 AS INC1.peak > A1.peak,
+  INC2 AS INC2.peak > A2.peak,
+  SEGMENT WINDOW AS window(tstamp, 0, :total_window_size, MINUTE)
+""",
+    grid=_grid(a=["GOOG"],
+               total_window_size=[5, 20, 40, 60, 80]),
+)
+
+OPENCEP_Q2 = QueryTemplate(
+    name="OpenCEP_Q2",
+    dataset="nasdaq",
+    description="Chained falling pairs of one ticker within a time window "
+                "(OpenCEP benchmark Q2).",
+    text="""
+ORDER BY tstamp
+PATTERN ((((A1 W A2) & FALL)+) & WINDOW)
+DEFINE
+  SEGMENT W AS true,
+  A1 AS A1.ticker = :a,
+  A2 AS A2.ticker = :a,
+  SEGMENT FALL AS last(FALL.peak) < first(FALL.peak),
+  SEGMENT WINDOW AS window(tstamp, 0, :total_window_size, MINUTE)
+""",
+    grid=_grid(a=["GOOG"],
+               total_window_size=[5, 20, 40, 60, 80]),
+)
+
+AFA_Q1 = QueryTemplate(
+    name="AFA_Q1",
+    dataset="sp500",
+    description="Large fall followed by k fall/rise oscillations with "
+                "balanced up/down ticks (AFA benchmark Q1).",
+    has_nested_kleene=True,
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN ((((LARGE_FALL & W) ((((FALL & W)+) ((RISE & W)+)){:K}))
+  & EQ_FALL_AND_RISE) & WINDOW)
+DEFINE
+  SEGMENT W AS window(2),
+  SEGMENT LARGE_FALL AS
+    last(LARGE_FALL.price) / first(LARGE_FALL.price) < :large_fall_ratio,
+  SEGMENT FALL AS last(FALL.price) < first(FALL.price),
+  SEGMENT RISE AS last(RISE.price) > first(RISE.price),
+  SEGMENT EQ_FALL_AND_RISE AS equal_up_down_ticks(price),
+  SEGMENT WINDOW AS window(0, 30)
+""",
+    grid=_grid(K=[2],
+               large_fall_ratio=[0.990, 0.985, 0.980, 0.975, 0.970,
+                                 0.965, 0.960, 0.955, 0.950]),
+)
+
+AFA_Q2 = QueryTemplate(
+    name="AFA_Q2",
+    dataset="sp500",
+    description="Large fall followed by oscillations that recover the "
+                "starting price (AFA benchmark Q2).",
+    has_nested_kleene=True,
+    text="""
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN ((LARGE_FALL & W) ((((FALL & W)+) ((RISE & W)+))+))
+  & RECOVER & WINDOW
+DEFINE
+  SEGMENT W AS window(2),
+  SEGMENT LARGE_FALL AS
+    last(LARGE_FALL.price) / first(LARGE_FALL.price) < :large_fall_ratio,
+  SEGMENT FALL AS last(FALL.price) < first(FALL.price),
+  SEGMENT RISE AS last(RISE.price) > first(RISE.price),
+  SEGMENT RECOVER AS last(RECOVER.price) >= first(RECOVER.price),
+  SEGMENT WINDOW AS window(0, 30)
+""",
+    grid=_grid(large_fall_ratio=[0.990, 0.985, 0.980, 0.975, 0.970,
+                                 0.965, 0.960, 0.955, 0.950]),
+)
+
+#: The 11 evaluation templates (Table 3 order), plus the alt specification.
+TEMPLATES: Tuple[QueryTemplate, ...] = (
+    V_SHAPE, HEAD_SHLDR, OUTLIER, REBOUND, CLD_WAVE, RPTD_PTTRN,
+    LIMIT_SELL, OPENCEP_Q1, OPENCEP_Q2, AFA_Q1, AFA_Q2,
+)
+
+ALL_TEMPLATES: Tuple[QueryTemplate, ...] = TEMPLATES + (CLD_WAVE_ALT,)
+
+
+def get_template(name: str) -> QueryTemplate:
+    for template in ALL_TEMPLATES:
+        if template.name == name:
+            return template
+    raise DataError(f"unknown query template {name!r}; available: "
+                    f"{[t.name for t in ALL_TEMPLATES]}")
+
+
+def iter_instances(template: QueryTemplate) -> Iterator[
+        Tuple[Dict[str, object], Query]]:
+    """Yield (params, compiled query) for every parameter set."""
+    for params in template.param_sets():
+        yield params, template.compile(params)

@@ -1,0 +1,16 @@
+"""Time-series substrate: series, tables, segments and time units.
+
+The executor operates over :class:`Series` objects — in-memory, columnar,
+ordered collections of points.  A :class:`Table` is the relational input from
+which series are constructed according to a query's ``PARTITION BY`` /
+``ORDER BY`` clauses.  A :class:`Segment` is a contiguous ``[start, end]``
+index range of one series, optionally carrying a payload of referenced
+sub-matches (Section 4.1 of the paper).
+"""
+
+from repro.timeseries.segment import Segment
+from repro.timeseries.series import Series
+from repro.timeseries.table import Table
+from repro.timeseries.timeunits import UNIT_SECONDS, to_base_units
+
+__all__ = ["Segment", "Series", "Table", "UNIT_SECONDS", "to_base_units"]

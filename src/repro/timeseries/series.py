@@ -1,0 +1,123 @@
+"""In-memory columnar time series.
+
+A :class:`Series` stores one ordered partition of the input data.  Columns
+are numpy arrays; one column is designated the *order column* (typically the
+timestamp) and must be non-decreasing.  Segments address the series by
+integer index positions, so a segment ``[i, j]`` can be sliced in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+class Series:
+    """One ordered time series partition.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to a 1-D sequence of values.  Numeric columns
+        are stored as ``float64`` numpy arrays; non-numeric columns (e.g.
+        string tickers) are stored as object arrays and may only be used in
+        equality conditions.
+    order_column:
+        Name of the column the series is ordered by (must be non-decreasing).
+    key:
+        Partition key value(s), kept for labeling results.
+    time_unit:
+        Unit in which the order column counts time (``'DAY'``, ``'HOUR'``,
+        ...).  Used to convert time-based window bounds.
+    """
+
+    def __init__(self, columns: Dict[str, Sequence], order_column: str,
+                 key: Optional[tuple] = None, time_unit: str = "DAY"):
+        if order_column not in columns:
+            raise DataError(f"order column {order_column!r} missing from columns "
+                            f"{sorted(columns)}")
+        self._columns: Dict[str, np.ndarray] = {}
+        length = None
+        for name, values in columns.items():
+            arr = self._to_array(name, values)
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise DataError(f"column {name!r} has length {len(arr)}, "
+                                f"expected {length}")
+            self._columns[name] = arr
+        self.order_column = order_column
+        self.key = key if key is not None else ()
+        self.time_unit = time_unit
+        order = self._columns[order_column]
+        if len(order) > 1 and np.any(np.diff(order.astype(np.float64)) < 0):
+            raise DataError(f"order column {order_column!r} is not sorted for "
+                            f"partition {key!r}")
+
+    @staticmethod
+    def _to_array(name: str, values: Sequence) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise DataError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+        if arr.dtype.kind in "iuf b".replace(" ", ""):
+            return arr.astype(np.float64)
+        return arr.astype(object)
+
+    def __len__(self) -> int:
+        return len(self._columns[self.order_column])
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all columns, sorted for determinism."""
+        return sorted(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """The full array for a column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataError(f"unknown column {name!r}; available: "
+                            f"{self.column_names}") from None
+
+    def values(self, name: str, start: int, end: int) -> np.ndarray:
+        """Values of ``name`` over the inclusive segment ``[start, end]``."""
+        return self._columns[name][start:end + 1]
+
+    def value_at(self, name: str, index: int) -> object:
+        """Single value of column ``name`` at ``index``."""
+        try:
+            return self._columns[name][index]
+        except KeyError:
+            raise DataError(f"unknown column {name!r}; available: "
+                            f"{self.column_names}") from None
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """The order column's values."""
+        return self._columns[self.order_column]
+
+    def duration(self, start: int, end: int) -> float:
+        """Time-duration of the inclusive segment ``[start, end]``."""
+        order = self._columns[self.order_column]
+        return float(order[end] - order[start])
+
+    def label(self) -> str:
+        """Human-readable partition label."""
+        if not self.key:
+            return "<series>"
+        return "/".join(str(part) for part in self.key)
+
+    def __repr__(self) -> str:
+        return (f"Series(key={self.key!r}, n={len(self)}, "
+                f"columns={self.column_names})")
+
+
+def concat_keys(keys: Iterable[tuple]) -> List[tuple]:
+    """Stable, deterministic ordering of partition keys."""
+    return sorted(keys, key=lambda k: tuple(str(part) for part in k))

@@ -1,0 +1,109 @@
+"""Relational input tables and PARTITION BY / ORDER BY series construction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.series import Series, concat_keys
+
+
+class Table:
+    """A columnar relational table of timestamped records.
+
+    This is the substrate the query's ``PARTITION BY`` / ``ORDER BY`` clauses
+    operate on: :meth:`partition` groups rows by the partition columns, sorts
+    each group by the order column and yields one :class:`Series` per group
+    (Section 3, "Time Series Data Model").
+    """
+
+    def __init__(self, columns: Dict[str, Sequence], time_unit: str = "DAY"):
+        self._columns: Dict[str, np.ndarray] = {}
+        length = None
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise DataError(f"column {name!r} must be 1-D")
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise DataError(f"column {name!r} has length {len(arr)}, "
+                                f"expected {length}")
+            self._columns[name] = arr
+        if length is None:
+            raise DataError("a table needs at least one column")
+        self._length = length
+        self.time_unit = time_unit
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> List[str]:
+        return sorted(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataError(f"unknown column {name!r}; available: "
+                            f"{self.column_names}") from None
+
+    def partition(self, partition_by: Optional[Sequence[str]],
+                  order_by: str) -> List[Series]:
+        """Build one ordered :class:`Series` per partition key.
+
+        ``partition_by`` may be ``None`` or empty for single-series tables.
+        Partitions are returned in deterministic (sorted key) order.
+        """
+        if order_by not in self._columns:
+            raise DataError(f"ORDER BY column {order_by!r} not in table")
+        partition_by = list(partition_by or [])
+        for name in partition_by:
+            if name not in self._columns:
+                raise DataError(f"PARTITION BY column {name!r} not in table")
+
+        if not partition_by:
+            order = np.argsort(self._columns[order_by], kind="stable")
+            columns = {name: arr[order] for name, arr in self._columns.items()}
+            return [Series(columns, order_by, key=(), time_unit=self.time_unit)]
+
+        groups: Dict[tuple, List[int]] = {}
+        key_arrays = [self._columns[name] for name in partition_by]
+        for row in range(self._length):
+            key = tuple(arr[row] for arr in key_arrays)
+            groups.setdefault(key, []).append(row)
+
+        series_list: List[Series] = []
+        for key in concat_keys(groups):
+            rows = np.asarray(groups[key], dtype=np.int64)
+            order = np.argsort(self._columns[order_by][rows], kind="stable")
+            rows = rows[order]
+            columns = {name: arr[rows] for name, arr in self._columns.items()}
+            series_list.append(
+                Series(columns, order_by, key=key, time_unit=self.time_unit))
+        return series_list
+
+    @classmethod
+    def from_series(cls, series_list: Sequence[Series],
+                    partition_column: str = "series_id") -> "Table":
+        """Flatten already-built series back into one table (testing aid)."""
+        if not series_list:
+            raise DataError("no series given")
+        names = set(series_list[0].column_names)
+        columns: Dict[str, list] = {name: [] for name in names}
+        keys: List[object] = []
+        for idx, series in enumerate(series_list):
+            if set(series.column_names) != names:
+                raise DataError("series have inconsistent columns")
+            for name in names:
+                columns[name].extend(series.column(name).tolist())
+            label = series.key[0] if series.key else idx
+            keys.extend([label] * len(series))
+        columns[partition_column] = keys
+        return cls(columns, time_unit=series_list[0].time_unit)
+
+    def __repr__(self) -> str:
+        return f"Table(n={self._length}, columns={self.column_names})"

@@ -1,0 +1,42 @@
+"""Time-unit handling for window conditions.
+
+Timestamps in this library are plain numbers.  Datasets choose their own
+base resolution (e.g. the weather dataset stores one point per day with
+``tstamp`` counted in days; the NASDAQ dataset counts seconds).  A window
+such as ``window(tstamp, 25, 30, DAY)`` is converted into the timestamp
+column's units using the conversion table below together with the series'
+declared ``time_unit``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataError
+
+#: Seconds per named unit.  ``POINT`` is a pseudo-unit used by point-based
+#: windows and never reaches this table.
+UNIT_SECONDS = {
+    "SECOND": 1.0,
+    "MINUTE": 60.0,
+    "HOUR": 3600.0,
+    "DAY": 86400.0,
+    "WEEK": 7 * 86400.0,
+}
+
+
+def to_base_units(value: float, unit: str, series_unit: str) -> float:
+    """Convert ``value`` expressed in ``unit`` into a series' native units.
+
+    ``series_unit`` is the unit in which the series' timestamp column is
+    counted (one of the keys of :data:`UNIT_SECONDS`).  For example a value
+    of ``5`` with ``unit='DAY'`` on a series whose timestamps count hours
+    becomes ``120.0``.
+    """
+    try:
+        numerator = UNIT_SECONDS[unit.upper()]
+    except KeyError:
+        raise DataError(f"unknown time unit {unit!r}") from None
+    try:
+        denominator = UNIT_SECONDS[series_unit.upper()]
+    except KeyError:
+        raise DataError(f"unknown series time unit {series_unit!r}") from None
+    return value * numerator / denominator

@@ -1,0 +1,137 @@
+"""Binder tests: window interpretation, defaults, validation."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.lang.query import compile_query
+
+
+def bind(text, params=None):
+    return compile_query(text, params)
+
+
+class TestWindowInterpretation:
+    def test_point_range(self):
+        q = bind("ORDER BY t\nPATTERN (X)\nDEFINE SEGMENT X AS window(1, 5)")
+        (window,) = q.var("X").windows
+        assert (window.kind, window.lo, window.hi) == ("point", 1.0, 5.0)
+
+    def test_point_fixed(self):
+        q = bind("ORDER BY t\nPATTERN (X)\nDEFINE SEGMENT X AS window(4)")
+        (window,) = q.var("X").windows
+        assert (window.lo, window.hi) == (4.0, 4.0)
+
+    def test_point_unbounded(self):
+        q = bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(15, null)")
+        (window,) = q.var("X").windows
+        assert window.hi is None
+
+    def test_wild(self):
+        q = bind("ORDER BY t\nPATTERN (X)\nDEFINE SEGMENT X AS window()")
+        (window,) = q.var("X").windows
+        assert window.is_wild
+
+    def test_time_range(self):
+        q = bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(t, 25, 30, DAY)")
+        (window,) = q.var("X").windows
+        assert (window.kind, window.column, window.unit) == \
+            ("time", "t", "DAY")
+
+    def test_time_fixed(self):
+        q = bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(t, 10, MINUTE)")
+        (window,) = q.var("X").windows
+        assert (window.lo, window.hi) == (10.0, 10.0)
+
+    def test_window_with_condition(self):
+        q = bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(1, 5) AND last(X.v) > 0")
+        var = q.var("X")
+        assert len(var.windows) == 1
+        assert var.condition is not None
+
+    def test_window_param_bounds(self):
+        q = bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(1, :hi)", {"hi": 9})
+        (window,) = q.var("X").windows
+        assert window.hi == 9.0
+
+    def test_nested_window_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(1, 5) OR last(X.v) > 0")
+
+    def test_window_on_point_var_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (X)\nDEFINE X AS window(1, 5)")
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (X)\n"
+                 "DEFINE SEGMENT X AS window(t, 1, 5, LIGHTYEAR)")
+
+    def test_unbounded_fixed_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (X)\nDEFINE SEGMENT X AS window(null)")
+
+
+class TestValidation:
+    def test_undefined_pattern_var_defaults_to_point(self):
+        q = bind("ORDER BY t\nPATTERN (A B)\nDEFINE A AS v < 1")
+        assert not q.var("B").is_segment
+        assert q.var("B").condition is None
+
+    def test_define_without_pattern_var_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (A)\nDEFINE A AS true, B AS true")
+
+    def test_duplicate_define_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (A)\nDEFINE A AS true, A AS false")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(Exception):
+            bind("ORDER BY t\nPATTERN (A)\n"
+                 "DEFINE SEGMENT A AS no_such_agg(A.v) > 1")
+
+    def test_aggregate_arity_checked(self):
+        with pytest.raises(Exception):
+            bind("ORDER BY t\nPATTERN (A)\n"
+                 "DEFINE SEGMENT A AS linear_reg_r2(A.v) > 0.5")
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (A)\n"
+                 "DEFINE SEGMENT A AS corr(A.v, GHOST.v) > 0.5")
+
+    def test_missing_param_rejected(self):
+        with pytest.raises(BindError):
+            bind("ORDER BY t\nPATTERN (A)\nDEFINE SEGMENT A AS last(A.v) > :x")
+
+    def test_missing_order_by_rejected(self):
+        with pytest.raises(BindError):
+            bind("PATTERN (A)\nDEFINE A AS true")
+
+    def test_external_refs_computed(self):
+        q = bind("ORDER BY t\nPATTERN (UP GAP X)\nDEFINE SEGMENT UP AS "
+                 "last(UP.v) > 1, SEGMENT GAP AS true, "
+                 "SEGMENT X AS corr(X.v, UP.v) > 0.5")
+        assert q.var("X").external_refs == frozenset({"UP"})
+        assert q.referenced_variables() == frozenset({"UP"})
+
+    def test_true_condition_becomes_none(self):
+        q = bind("ORDER BY t\nPATTERN (W)\nDEFINE SEGMENT W AS true")
+        assert q.var("W").condition is None
+        assert q.var("W").is_wild
+
+    def test_has_segment_variables(self):
+        q = bind("ORDER BY t\nPATTERN (A B)\nDEFINE A AS v < 1")
+        assert not q.has_segment_variables(q.pattern)
+        q2 = bind("ORDER BY t\nPATTERN (A B)\nDEFINE SEGMENT A AS true")
+        assert q2.has_segment_variables(q2.pattern)
+
+    def test_describe_smoke(self):
+        q = bind("ORDER BY t\nPATTERN (A)\nDEFINE SEGMENT A AS window(1, 2)")
+        assert "PATTERN" in q.describe()

@@ -1,0 +1,171 @@
+"""Hand-computed semantics checks against the brute-force matcher.
+
+These tests pin down the *meaning* of the language on tiny series where
+expected matches can be derived by hand; every executor is separately
+tested for agreement with the brute-force matcher, so these tests anchor
+the whole system's semantics.
+"""
+
+import pytest
+
+from repro.core.bruteforce import BruteForceMatcher
+from repro.errors import PlanError
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+
+def matches(text, values, params=None, timestamps=None):
+    query = compile_query(text, params)
+    series = make_series(values, timestamps=timestamps)
+    return sorted(BruteForceMatcher(query).match_series(series))
+
+
+class TestPointPatterns:
+    def test_single_point_variable(self):
+        got = matches("ORDER BY t\nPATTERN (A)\nDEFINE A AS val > 2",
+                      [1, 3, 2, 5])
+        assert got == [(1, 1), (3, 3)]
+
+    def test_point_concatenation_is_disjoint(self):
+        got = matches("ORDER BY t\nPATTERN (A B)\n"
+                      "DEFINE A AS val < 2, B AS val > 2",
+                      [1, 3, 1, 1, 5])
+        assert got == [(0, 1), (3, 4)]
+
+    def test_point_kleene_plus(self):
+        got = matches("ORDER BY t\nPATTERN (A+) & WIN\n"
+                      "DEFINE A AS val > 2, SEGMENT WIN AS window(0, 10)",
+                      [1, 3, 4, 1])
+        assert got == [(1, 1), (1, 2), (2, 2)]
+
+    def test_point_alternation(self):
+        got = matches("ORDER BY t\nPATTERN (A | B)\n"
+                      "DEFINE A AS val < 2, B AS val > 4",
+                      [1, 3, 5])
+        assert got == [(0, 0), (2, 2)]
+
+
+class TestSegmentPatterns:
+    def test_segment_condition(self):
+        got = matches("ORDER BY t\nPATTERN (S)\n"
+                      "DEFINE SEGMENT S AS last(S.val) - first(S.val) >= 3",
+                      [1, 2, 5, 1])
+        # [0,2]: 5-1=4 ok; [1,2]: 3 ok; [0,3],[1,3],[2,3]... 1-x negative.
+        assert got == [(0, 2), (1, 2)]
+
+    def test_shared_boundary_concat(self):
+        # DOWN then UP share the trough point.
+        got = matches(
+            "ORDER BY t\nPATTERN (DN UP) & WIN\n"
+            "DEFINE SEGMENT DN AS last(DN.val) < first(DN.val),\n"
+            "SEGMENT UP AS last(UP.val) > first(UP.val),\n"
+            "SEGMENT WIN AS window(2, 4)",
+            [3, 1, 4])
+        assert got == [(0, 2)]
+
+    def test_and_same_segment(self):
+        got = matches(
+            "ORDER BY t\nPATTERN (A & B)\n"
+            "DEFINE SEGMENT A AS last(A.val) > first(A.val),\n"
+            "SEGMENT B AS last(B.val) - first(B.val) < 3",
+            [1, 2, 9])
+        # rising AND small rise: [0,1] rise=1 ok; [1,2] rise=7 no;
+        # [0,2] rise=8 no; single points not rising.
+        assert got == [(0, 1)]
+
+    def test_not_within_window(self):
+        got = matches(
+            "ORDER BY t\nPATTERN (~F) & WIN\n"
+            "DEFINE SEGMENT F AS last(F.val) < first(F.val),\n"
+            "SEGMENT WIN AS window(1, 2)",
+            [1, 2, 1])
+        # windowed segments: (0,1) rising ok; (0,2) flat ok; (1,2) falls no.
+        assert got == [(0, 1), (0, 2)]
+
+    def test_wild_padding_allows_empty(self):
+        # (W S): single-point W at the shared boundary acts as empty pad.
+        got = matches(
+            "ORDER BY t\nPATTERN (W S) & WIN\n"
+            "DEFINE SEGMENT W AS true,\n"
+            "SEGMENT S AS last(S.val) - first(S.val) >= 2,\n"
+            "SEGMENT WIN AS window(1, 3)",
+            [1, 3, 0, 2])
+        # S candidates: [0,1] and [2,3] (+2 each).  Padding may be empty
+        # (single shared point) or extend left up to the window bound.
+        assert got == [(0, 1), (0, 3), (1, 3), (2, 3)]
+
+    def test_segment_kleene_counts(self):
+        got = matches(
+            "ORDER BY t\nPATTERN (UP{2}) & WIN\n"
+            "DEFINE SEGMENT UP AS last(UP.val) > first(UP.val)\n"
+            "  AND window(1, null),\n"
+            "SEGMENT WIN AS window(0, 10)",
+            [1, 2, 3])
+        # exactly two rising segments chained: [0,1]+[1,2] -> [0,2] only.
+        assert got == [(0, 2)]
+
+    def test_kleene_zero_min_rejected(self):
+        with pytest.raises(PlanError):
+            matches("ORDER BY t\nPATTERN (S*) & WIN\n"
+                    "DEFINE SEGMENT S AS last(S.val) > 0,\n"
+                    "SEGMENT WIN AS window(0, 5)", [1, 2])
+
+    def test_time_window_on_irregular_series(self):
+        got = matches(
+            "ORDER BY tstamp\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS window(tstamp, 0, 5, DAY)\n"
+            "  AND last(S.val) > first(S.val)",
+            [1, 2, 3, 4], timestamps=[0.0, 2.0, 9.0, 10.0])
+        # duration<=5: (0,1)=2d rise; (2,3)=1d rise; (1,2)=7d too long.
+        assert got == [(0, 1), (2, 3)]
+
+
+class TestReferences:
+    TEXT = """
+    ORDER BY t
+    PATTERN (UP GAP X) & WIN
+    DEFINE SEGMENT UP AS last(UP.val) - first(UP.val) >= 2
+        AND window(2, 2),
+      SEGMENT GAP AS true,
+      SEGMENT X AS corr(X.val, UP.val) >= 0.99 AND window(2, 2),
+      SEGMENT WIN AS window(4, 8)
+    """
+
+    def test_reference_condition(self):
+        # UP = [0,2] rising 1,2,3; X must correlate with it.
+        got = matches(self.TEXT, [1, 2, 3, 9, 9, 4, 5, 6])
+        assert (0, 7) in got
+        # Every match must span from an UP start to an X end.
+        assert all(m[0] == 0 for m in got)
+
+    def test_bindings_exposed(self):
+        query = compile_query(self.TEXT)
+        series = make_series([1, 2, 3, 9, 9, 4, 5, 6])
+        matcher = BruteForceMatcher(query)
+        envs = matcher.bindings_for_segment(series, 0, 7)
+        assert envs
+        assert any(env.get("UP") == (0, 2) and env.get("X") == (5, 7)
+                   for env in envs)
+
+
+class TestMixedPointSegment:
+    def test_point_inside_segments(self):
+        # A point bridging two segments shares boundaries with both.
+        got = matches(
+            "ORDER BY t\nPATTERN (L P R) & WIN\n"
+            "DEFINE SEGMENT L AS last(L.val) > first(L.val),\n"
+            "P AS val > 4,\n"
+            "SEGMENT R AS last(R.val) < first(R.val),\n"
+            "SEGMENT WIN AS window(2, 4)",
+            [1, 5, 2])
+        # L=[0,1], P=[1,1] (5>4), R=[1,2] -> match [0,2].
+        assert got == [(0, 2)]
+
+    def test_point_gap_with_wild(self):
+        got = matches(
+            "ORDER BY t\nPATTERN (A W B) & WIN\n"
+            "DEFINE A AS val = 1, B AS val = 9, SEGMENT W AS true,\n"
+            "SEGMENT WIN AS window(0, 5)",
+            [1, 0, 9, 1, 9])
+        assert got == [(0, 2), (0, 4), (3, 4)]

@@ -1,0 +1,170 @@
+"""Cost-model component tests (costmodel.py + plan_coster branches)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.query import compile_query
+from repro.optimizer import costmodel as CM
+from repro.optimizer.plan_coster import PlanCostEstimator
+from repro.optimizer.rulebased import RuleBasedPlanner, RuleStrategy
+from repro.optimizer.stats import collect_stats
+from repro.plan.logical import (LKleene, LNot, LOr, build_logical_plan,
+                                walk)
+
+from tests.conftest import make_series
+
+
+def series_list(seed=0, n=40, count=2):
+    rng = np.random.default_rng(seed)
+    return [make_series(np.cumsum(rng.normal(0, 1, n)) + 50)
+            for _ in range(count)]
+
+
+class TestDurationBounds:
+    def test_or_takes_union(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (A | B) & WIN\n"
+            "DEFINE SEGMENT A AS window(2, 4) AND last(A.val) > 0,\n"
+            "SEGMENT B AS window(6, 8) AND last(B.val) > 0,\n"
+            "SEGMENT WIN AS window(0, 20)")
+        plan = build_logical_plan(query)
+        series = make_series(np.zeros(30))
+        or_node = next(n for n in walk(plan) if isinstance(n, LOr))
+        lo, hi = CM.node_duration_bounds(or_node, series)
+        assert lo == 2 and hi == 8
+
+    def test_kleene_scales_with_reps(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S{3}) & WIN\n"
+            "DEFINE SEGMENT S AS window(2, 2) AND last(S.val) > 0,\n"
+            "SEGMENT WIN AS window(0, 30)")
+        plan = build_logical_plan(query)
+        series = make_series(np.zeros(40))
+        kleene = next(n for n in walk(plan) if isinstance(n, LKleene))
+        lo, hi = CM.node_duration_bounds(kleene, series)
+        assert lo >= 6  # three reps of duration-2 segments
+
+    def test_not_uses_window(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (~F) & WIN\n"
+            "DEFINE SEGMENT F AS last(F.val) < 0,\n"
+            "SEGMENT WIN AS window(3, 7)")
+        plan = build_logical_plan(query)
+        series = make_series(np.zeros(20))
+        not_node = next(n for n in walk(plan) if isinstance(n, LNot))
+        lo, hi = CM.node_duration_bounds(not_node, series)
+        assert (lo, hi) == (3, 7)
+
+    def test_time_window_converted_by_avg_step(self):
+        from repro.lang.windows import WindowConjunction, WindowSpec
+        # 2-day steps: a 10-day window is ~5 index steps.
+        series = make_series(np.zeros(11),
+                             timestamps=np.arange(0.0, 22.0, 2.0))
+        window = WindowConjunction(
+            [WindowSpec.time("tstamp", 0, 10, "DAY")])
+        lo, hi = CM.window_duration_bounds(window, series)
+        assert lo == 0 and hi == pytest.approx(5.0)
+
+
+class TestBoxedPairFraction:
+    @given(ls=st.integers(1, 60), le=st.integers(1, 60),
+           lo=st.integers(0, 10), width=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_in_unit_interval(self, ls, le, lo, width):
+        lse = max(ls, le)
+        fraction = CM.boxed_pair_fraction(ls, le, lse, (lo, lo + width))
+        assert 0.0 <= fraction <= 1.0
+
+    def test_wider_window_never_less_selective(self):
+        narrow = CM.boxed_pair_fraction(50, 50, 50, (2, 4))
+        wide = CM.boxed_pair_fraction(50, 50, 50, (2, 10))
+        assert wide >= narrow
+
+    def test_sampled_start_path(self):
+        # ls above the sampling cap still returns something sane.
+        fraction = CM.boxed_pair_fraction(10_000, 10_000, 10_000, (0, 10))
+        assert 0.0 < fraction < 0.01
+
+
+class TestConcatSelectivity:
+    def test_disjoint_children_cannot_reach_window(self):
+        # children sum to >= 20 but the window caps at 10.
+        sel = CM.concat_window_selectivity((0, 10), (10, 15), (10, 15), 0,
+                                           100)
+        assert sel == 0.0
+
+    def test_gap_shifts_total(self):
+        tight = CM.concat_window_selectivity((2, 2), (1, 1), (1, 1), 0, 50)
+        shifted = CM.concat_window_selectivity((3, 3), (1, 1), (1, 1), 1,
+                                               50)
+        assert tight == shifted == 1.0
+
+    def test_empty_child_range(self):
+        assert CM.concat_window_selectivity((0, 5), (10, 4), (0, 2), 0,
+                                            50) == 0.0
+
+
+class TestPlanCosterBranches:
+    def make(self, text, seed=1):
+        query = compile_query(text)
+        data = series_list(seed)
+        stats = collect_stats(query, data)
+        return query, PlanCostEstimator(stats, data[0])
+
+    def cost(self, text, strategy=RuleStrategy("left", "probe")):
+        query, estimator = self.make(text)
+        plan = RuleBasedPlanner(strategy).plan(query)
+        value = estimator.estimate(plan)
+        assert math.isfinite(value) and value > 0
+        return value
+
+    def test_or_plan(self):
+        self.cost("ORDER BY tstamp\nPATTERN (A | B) & WIN\n"
+                  "DEFINE SEGMENT A AS last(A.val) > 0,\n"
+                  "SEGMENT B AS last(B.val) < 0,\n"
+                  "SEGMENT WIN AS window(1, 6)")
+
+    def test_not_plans_both_variants(self):
+        text = ("ORDER BY tstamp\nPATTERN R & WIN & ~(F W)\n"
+                "DEFINE SEGMENT R AS last(R.val) > first(R.val),\n"
+                "SEGMENT WIN AS window(1, 6),\n"
+                "SEGMENT F AS last(F.val) < first(F.val),\n"
+                "SEGMENT W AS true")
+        materialize = self.cost(text, RuleStrategy("left", "probe",
+                                                   "materialize"))
+        probe = self.cost(text, RuleStrategy("left", "probe", "probe"))
+        assert materialize != probe
+
+    def test_kleene_plan(self):
+        self.cost("ORDER BY tstamp\nPATTERN ((UP & W)+) & WIN\n"
+                  "DEFINE SEGMENT W AS window(1, 3),\n"
+                  "SEGMENT UP AS last(UP.val) > first(UP.val),\n"
+                  "SEGMENT WIN AS window(2, 9)")
+
+    def test_filter_plan(self):
+        # Sort-merge over references forces a Filter.
+        self.cost("ORDER BY tstamp\nPATTERN (UP G X) & WIN\n"
+                  "DEFINE SEGMENT UP AS last(UP.val) > first(UP.val),\n"
+                  "SEGMENT G AS true,\n"
+                  "SEGMENT X AS corr(X.val, UP.val) > 0.5 AND window(2, 4),"
+                  "\nSEGMENT WIN AS window(3, 10)",
+                  RuleStrategy("left", "sm"))
+
+    def test_bigger_data_bigger_cost(self):
+        text = ("ORDER BY tstamp\nPATTERN (UP & W) & WIN\n"
+                "DEFINE SEGMENT W AS window(2, null),\n"
+                "SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val)"
+                " >= 0.8,\nSEGMENT WIN AS window(1, 10)")
+        query = compile_query(text)
+        small = series_list(2, n=30)
+        big = series_list(2, n=120)
+        plan = RuleBasedPlanner(RuleStrategy("left", "sm")).plan(query)
+        small_cost = PlanCostEstimator(
+            collect_stats(query, small), small[0]).estimate(plan)
+        big_cost = PlanCostEstimator(
+            collect_stats(query, big), big[0]).estimate(plan)
+        assert big_cost > small_cost

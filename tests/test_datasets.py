@@ -1,0 +1,93 @@
+"""Dataset generator tests: determinism, shapes, pattern availability."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DATASET_SHAPES, covid19, dataset_statistics,
+                            load, nasdaq, sp500, taxi, weather)
+from repro.errors import DataError
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(DATASET_SHAPES))
+    def test_default_shape(self, name):
+        table = load(name, scale="default")
+        expected_series, expected_length = DATASET_SHAPES[name][0]
+        partition = {"sp500": "ticker", "covid19": "county",
+                     "weather": "city", "taxi": None, "nasdaq": None}[name]
+        series_list = table.partition([partition] if partition else None,
+                                      "tstamp")
+        assert len(series_list) == expected_series
+        assert len(series_list[0]) == expected_length
+
+    def test_custom_sizes(self):
+        table = sp500(num_series=3, length=50)
+        series_list = table.partition(["ticker"], "tstamp")
+        assert len(series_list) == 3
+        assert all(len(s) == 50 for s in series_list)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError):
+            load("nope")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("generator", [sp500, covid19, weather, taxi,
+                                           nasdaq])
+    def test_same_seed_same_data(self, generator):
+        a = generator(num_series=2, length=40)
+        b = generator(num_series=2, length=40)
+        for column in a.column_names:
+            col_a, col_b = a.column(column), b.column(column)
+            if col_a.dtype == object:
+                assert list(col_a) == list(col_b)
+            else:
+                assert np.array_equal(col_a, col_b)
+
+    def test_different_seed_different_data(self):
+        a = sp500(num_series=1, length=30, seed=1)
+        b = sp500(num_series=1, length=30, seed=2)
+        assert not np.array_equal(a.column("price"), b.column("price"))
+
+
+class TestContent:
+    def test_sp500_positive_prices(self):
+        table = sp500(num_series=5, length=60)
+        assert np.all(table.column("price") > 0)
+
+    def test_covid_floored_at_one(self):
+        table = covid19(num_series=5, length=64)
+        assert np.all(table.column("confirmed") >= 1.0)
+
+    def test_weather_has_cold_waves(self):
+        # The injection must create at least one >=20-degree drop within
+        # 5 days somewhere.
+        table = weather(num_series=2, length=400)
+        series_list = table.partition(["city"], "tstamp")
+        found = False
+        for series in series_list:
+            temps = series.column("temp")
+            for start in range(len(temps) - 5):
+                if temps[start] - temps[start + 4] >= 20:
+                    found = True
+        assert found
+
+    def test_taxi_daily_seasonality(self):
+        table = taxi(length=480)  # ten days
+        rides = table.column("rides")
+        daily_peak = max(rides[:48])
+        night = rides[4:8].mean()
+        assert daily_peak > 2 * night
+
+    def test_nasdaq_tickers_and_peaks(self):
+        table = nasdaq(length=500)
+        tickers = set(table.column("ticker"))
+        assert "GOOG" in tickers
+        assert np.all(table.column("peak") > 0)
+        timestamps = table.column("tstamp")
+        assert np.all(np.diff(timestamps) > 0)
+
+    def test_statistics_table(self):
+        stats = dataset_statistics(scale="default")
+        assert set(stats) == set(DATASET_SHAPES)
+        assert stats["sp500"]["num_series"] == 503

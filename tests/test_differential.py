@@ -1,0 +1,188 @@
+"""Differential testing: every executor must equal the brute-force matcher.
+
+This is the backbone of the test suite.  A bank of query shapes covering
+every operator (Concat/And/Or/Not/Kleene, point and segment variables,
+windows, references, indexes) is executed by:
+
+* the T-ReX cost-based engine (sharing auto/on/off),
+* T-ReX Batch (probes disabled),
+* all rule-based plan families,
+* the AFA, Nested-AFA, ZStream and OpenCEP baselines,
+
+and each must produce exactly the brute-force match set.  Series are
+randomized (fixed seeds for reproducibility) plus a hypothesis-driven
+fuzzing test over short random walks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EXECUTOR_LABELS, make_executor
+from repro.core.bruteforce import BruteForceMatcher
+from repro.core.engine import TRexEngine
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+QUERY_BANK = {
+    "v_shape": """
+        ORDER BY tstamp
+        PATTERN ((DN & W) (UP & W)) & WINDOW
+        DEFINE SEGMENT W AS window(2, null),
+          SEGMENT DN AS linear_reg_r2_signed(DN.tstamp, DN.val) <= -0.8,
+          SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.8,
+          SEGMENT WINDOW AS window(1, 12)
+    """,
+    "not": """
+        ORDER BY tstamp
+        PATTERN RISE & WINDOW & ~(FALL W)
+        DEFINE SEGMENT W AS true,
+          SEGMENT RISE AS last(RISE.val) / first(RISE.val) > 1.02,
+          SEGMENT WINDOW AS window(1, 8),
+          SEGMENT FALL AS last(FALL.val) / first(FALL.val) < 0.99
+    """,
+    "kleene": """
+        ORDER BY tstamp
+        PATTERN ((UP & W)+) & WINDOW
+        DEFINE SEGMENT W AS window(1, 3),
+          SEGMENT UP AS last(UP.val) > first(UP.val),
+          SEGMENT WINDOW AS window(2, 9)
+    """,
+    "exact_kleene": """
+        ORDER BY tstamp
+        PATTERN (((UP & W2) (DN & W2)){2}) & WINDOW
+        DEFINE SEGMENT W2 AS window(1, 3),
+          SEGMENT UP AS last(UP.val) > first(UP.val),
+          SEGMENT DN AS last(DN.val) < first(DN.val),
+          SEGMENT WINDOW AS window(2, 14)
+    """,
+    "or": """
+        ORDER BY tstamp
+        PATTERN (UP | DN) & WINDOW
+        DEFINE SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.9,
+          SEGMENT DN AS linear_reg_r2_signed(DN.tstamp, DN.val) <= -0.9,
+          SEGMENT WINDOW AS window(2, 6)
+    """,
+    "points_and_gaps": """
+        ORDER BY tstamp
+        PATTERN ((A1 W (A2 & INC)) & WINDOW)
+        DEFINE SEGMENT W AS true,
+          A1 AS val < 50, A2 AS val > 50,
+          INC AS INC.val > A1.val,
+          SEGMENT WINDOW AS window(0, 10)
+    """,
+    "references": """
+        ORDER BY tstamp
+        PATTERN (UP GAP (CORR & CW)) & WINDOW
+        DEFINE SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.7,
+          SEGMENT GAP AS true,
+          SEGMENT CW AS window(2, 4),
+          SEGMENT CORR AS corr(CORR.val, UP.val) >= 0.9,
+          SEGMENT WINDOW AS window(4, 12)
+    """,
+    "mixed_padding": """
+        ORDER BY tstamp
+        PATTERN (W1 (DOWN & FALL & W2) W1) & MK & WINDOW
+        DEFINE SEGMENT W1 AS true,
+          SEGMENT W2 AS window(1, 4),
+          SEGMENT FALL AS last(FALL.val) - first(FALL.val) < -1,
+          SEGMENT DOWN AS
+            linear_reg_r2_signed(DOWN.tstamp, DOWN.val) <= -0.8,
+          SEGMENT WINDOW AS window(8, 14),
+          SEGMENT MK AS mann_kendall_test(val) >= 0.3
+    """,
+    "outlier_point": """
+        ORDER BY tstamp
+        PATTERN (UP1 OUT UP2) & WINDOW
+        DEFINE OUT AS zscore_outlier(val, 4) > 1.2,
+          SEGMENT UP1 AS linear_reg_r2_signed(UP1.tstamp, UP1.val) >= 0.5,
+          SEGMENT UP2 AS linear_reg_r2_signed(UP2.tstamp, UP2.val) >= 0.5,
+          SEGMENT WINDOW AS window(2, 10)
+    """,
+    "point_kleene": """
+        ORDER BY tstamp
+        PATTERN (A+ B) & WINDOW
+        DEFINE A AS val > 50, B AS val < 50,
+          SEGMENT WINDOW AS window(0, 6)
+    """,
+}
+
+
+def random_series(seed, n=26):
+    rng = np.random.default_rng(seed)
+    return make_series(np.cumsum(rng.normal(0, 1.2, n)) + 50)
+
+
+def brute(query, series):
+    return sorted(BruteForceMatcher(query).match_series(series))
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_BANK))
+@pytest.mark.parametrize("label", EXECUTOR_LABELS)
+def test_executor_agrees_with_bruteforce(name, label):
+    query = compile_query(QUERY_BANK[name])
+    for seed in (1, 2):
+        series = random_series(seed)
+        expected = brute(query, series)
+        got = make_executor(label, query).match_series(series)
+        assert got == expected, (name, label, seed)
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_BANK))
+@pytest.mark.parametrize("planner", ["pr_left", "pr_right", "sm_left",
+                                     "sm_right"])
+def test_rule_planner_agrees_with_bruteforce(name, planner):
+    query = compile_query(QUERY_BANK[name])
+    series = random_series(3)
+    expected = brute(query, series)
+    engine = TRexEngine(optimizer=planner, sharing="on")
+    got = engine.execute_query(query, [series]).per_series[0].matches
+    assert got == expected, (name, planner)
+
+
+@pytest.mark.parametrize("name", ["not"])
+@pytest.mark.parametrize("planner", ["pr_left_pnot", "pr_right_pnot",
+                                     "sm_left_pnot", "sm_right_pnot"])
+def test_probenot_planners(name, planner):
+    query = compile_query(QUERY_BANK[name])
+    series = random_series(4)
+    expected = brute(query, series)
+    engine = TRexEngine(optimizer=planner, sharing="on")
+    got = engine.execute_query(query, [series]).per_series[0].matches
+    assert got == expected
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_BANK))
+def test_sharing_modes_agree(name):
+    query = compile_query(QUERY_BANK[name])
+    series = random_series(5)
+    expected = brute(query, series)
+    for sharing in ("auto", "on", "off"):
+        engine = TRexEngine(optimizer="cost", sharing=sharing)
+        got = engine.execute_query(query, [series]).per_series[0].matches
+        assert got == expected, (name, sharing)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       name=st.sampled_from(["v_shape", "not", "kleene", "or",
+                             "points_and_gaps", "point_kleene"]))
+def test_fuzz_cost_planner_vs_bruteforce(seed, name):
+    query = compile_query(QUERY_BANK[name])
+    series = random_series(seed, n=18)
+    expected = brute(query, series)
+    engine = TRexEngine(optimizer="cost", sharing="auto")
+    got = engine.execute_query(query, [series]).per_series[0].matches
+    assert got == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fuzz_afa_vs_bruteforce(seed):
+    query = compile_query(QUERY_BANK["mixed_padding"])
+    series = random_series(seed, n=16)
+    expected = brute(query, series)
+    got = make_executor("afa", query).match_series(series)
+    assert got == expected

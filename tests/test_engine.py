@@ -1,0 +1,88 @@
+"""Engine API tests: tables, partitions, results, stats."""
+
+import numpy as np
+import pytest
+
+from repro import TRexEngine, Table, find_matches
+from repro.core.result import QueryResult, SeriesMatches
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+QUERY = """
+PARTITION BY ticker
+ORDER BY tstamp
+PATTERN (UP & W) & WINDOW
+DEFINE SEGMENT W AS window(2, null),
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.price) >= 0.8,
+  SEGMENT WINDOW AS window(1, 10)
+"""
+
+
+class TestExecute:
+    def test_find_matches_end_to_end(self, small_table):
+        result = find_matches(small_table, QUERY)
+        assert len(result.per_series) == 2
+        assert result.plan_explain
+        assert result.execution_seconds >= 0
+
+    def test_partitions_are_independent(self, small_table):
+        result = find_matches(small_table, QUERY)
+        by_key = result.matches_by_key()
+        assert set(by_key) == {("A",), ("B",)}
+
+    def test_params_threaded(self, small_table):
+        text = QUERY.replace("0.8", ":fit")
+        strict = find_matches(small_table, text, params={"fit": 0.99})
+        loose = find_matches(small_table, text, params={"fit": 0.5})
+        assert strict.total_matches <= loose.total_matches
+
+    def test_series_list_input(self):
+        query = compile_query("ORDER BY tstamp\nPATTERN (A)\n"
+                              "DEFINE A AS val > 1")
+        series = make_series([0, 2, 0, 3])
+        engine = TRexEngine()
+        result = engine.execute_query(query, [series])
+        assert result.per_series[0].matches == [(1, 1), (3, 3)]
+
+    def test_empty_series_handled(self):
+        query = compile_query("ORDER BY tstamp\nPATTERN (A)\n"
+                              "DEFINE A AS val > 1")
+        table = Table({"tstamp": np.asarray([], dtype=np.float64),
+                       "val": np.asarray([], dtype=np.float64)})
+        result = TRexEngine().execute_query(query, table)
+        assert result.total_matches == 0
+
+    def test_single_point_series(self):
+        query = compile_query("ORDER BY tstamp\nPATTERN (A)\n"
+                              "DEFINE A AS val > 1")
+        result = TRexEngine().execute_query(query, [make_series([5])])
+        assert result.per_series[0].matches == [(0, 0)]
+
+    def test_stats_populated(self, small_table):
+        result = find_matches(small_table, QUERY)
+        assert result.stats.get("segments_emitted", 0) > 0
+
+    def test_matches_sorted_unique(self, small_table):
+        result = find_matches(small_table, QUERY)
+        for entry in result.per_series:
+            assert entry.matches == sorted(set(entry.matches))
+
+
+class TestResultType:
+    def test_summary(self):
+        result = QueryResult(per_series=[SeriesMatches(("x",), [(0, 1)])],
+                             planning_seconds=0.5, execution_seconds=1.0)
+        assert "1 matches" in result.summary()
+        assert result.total_seconds == 1.5
+
+    def test_all_matches_flat(self):
+        result = QueryResult(per_series=[
+            SeriesMatches(("x",), [(0, 1), (2, 3)]),
+            SeriesMatches(("y",), [(5, 6)]),
+        ])
+        assert result.all_matches() == [
+            (("x",), 0, 1), (("x",), 2, 3), (("y",), 5, 6)]
+
+    def test_len(self):
+        assert len(SeriesMatches(("x",), [(0, 1)])) == 1

@@ -1,0 +1,130 @@
+"""Execution context tests: index caches, providers, probe caches."""
+
+import numpy as np
+import pytest
+
+from repro.exec.base import ExecContext, refs_key
+from repro.lang import expr as E
+from repro.lang.parser import parse_condition
+
+from tests.conftest import make_series
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(3)
+    return make_series(np.cumsum(rng.normal(0, 1, 30)))
+
+
+def agg_call(text):
+    cond = parse_condition(text)
+    return E.aggregate_calls(cond)[0]
+
+
+class TestIndexCache:
+    def test_index_built_once_per_signature(self, series):
+        ctx = ExecContext(series)
+        call = agg_call("linear_reg_r2(X.tstamp, X.val) > 0")
+        from repro.aggregates.registry import DEFAULT_REGISTRY
+        agg = DEFAULT_REGISTRY.get("linear_reg_r2")
+        a = ctx.aggregate_index(agg, call, ())
+        b = ctx.aggregate_index(agg, call, ())
+        assert a is b
+        assert ctx.stats["index_builds"] == 1
+
+    def test_different_columns_different_indexes(self, series):
+        ctx = ExecContext(series)
+        from repro.aggregates.registry import DEFAULT_REGISTRY
+        agg = DEFAULT_REGISTRY.get("sum")
+        a = ctx.aggregate_index(agg, agg_call("sum(val) > 0"), ())
+        b = ctx.aggregate_index(agg, agg_call("sum(tstamp) > 0"), ())
+        assert a is not b
+
+    def test_prebuild_skips_non_indexable(self, series):
+        ctx = ExecContext(series)
+        calls = [agg_call("corr(X.val, Y.val) > 0"),
+                 agg_call("sum(val) > 0")]
+        ctx.prebuild_indexes(calls)
+        assert ctx.stats["index_builds"] == 1
+
+
+class TestProviders:
+    def test_indexed_provider_uses_lookup(self, series):
+        ctx = ExecContext(series)
+        cond = parse_condition("sum(val) > 0")
+        ectx = E.EvalContext(series, 2, 6, variable="X",
+                             provider=ctx.indexed_provider)
+        E.evaluate(cond, ectx)
+        assert ctx.stats["index_lookups"] == 1
+        assert ctx.stats["direct_agg_evals"] == 0
+
+    def test_direct_provider_counts(self, series):
+        ctx = ExecContext(series)
+        cond = parse_condition("sum(val) > 0")
+        ectx = E.EvalContext(series, 2, 6, variable="X",
+                             provider=ctx.direct_provider)
+        E.evaluate(cond, ectx)
+        assert ctx.stats["direct_agg_evals"] == 1
+        assert ctx.stats["index_lookups"] == 0
+
+    def test_cross_segment_call_bypasses_index(self, series):
+        ctx = ExecContext(series)
+        cond = parse_condition("corr(X.val, UP.val) > 0")
+        ectx = E.EvalContext(series, 5, 9, variable="X",
+                             refs={"UP": (0, 4)},
+                             provider=ctx.indexed_provider)
+        E.evaluate(cond, ectx)
+        assert ctx.stats["index_lookups"] == 0
+        assert ctx.stats["direct_agg_evals"] == 1
+
+    def test_indexed_and_direct_agree(self, series):
+        ctx = ExecContext(series)
+        cond = parse_condition("linear_reg_r2(X.tstamp, X.val)")
+        via_index = E.evaluate(cond, E.EvalContext(
+            series, 3, 12, variable="X", provider=ctx.indexed_provider))
+        direct = E.evaluate(cond, E.EvalContext(
+            series, 3, 12, variable="X", provider=ctx.direct_provider))
+        assert via_index == pytest.approx(direct, abs=1e-6)
+
+
+class TestProbeCache:
+    def test_round_trip(self, series):
+        ctx = ExecContext(series)
+        assert ctx.probe_cache_get(("k",)) is None
+        ctx.probe_cache_put(("k",), [1, 2])
+        assert ctx.probe_cache_get(("k",)) == [1, 2]
+
+    def test_refs_key_projection(self):
+        refs = {"A": (0, 1), "B": (2, 3), "C": (4, 5)}
+        assert refs_key(refs, frozenset({"A", "C"})) == \
+            (("A", (0, 1)), ("C", (4, 5)))
+        assert refs_key(refs, frozenset()) == ()
+
+    def test_refs_key_ignores_missing(self):
+        assert refs_key({"A": (0, 1)}, frozenset({"A", "Z"})) == \
+            (("A", (0, 1)),)
+
+
+class TestExplainMatch:
+    def test_bindings_via_engine(self):
+        from repro.core.engine import TRexEngine
+        from repro.lang.query import compile_query
+        series = make_series([3, 1, 4])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (DN UP) & WIN\n"
+            "DEFINE SEGMENT DN AS last(DN.val) < first(DN.val),\n"
+            "SEGMENT UP AS last(UP.val) > first(UP.val),\n"
+            "SEGMENT WIN AS window(2, 4)")
+        engine = TRexEngine()
+        envs = engine.explain_match(query, series, 0, 2)
+        assert envs == [{"DN": (0, 1), "UP": (1, 2), "WIN": (0, 2)}] or \
+            {"DN": (0, 1), "UP": (1, 2)}.items() <= envs[0].items()
+
+    def test_no_bindings_for_non_match(self):
+        from repro.core.engine import TRexEngine
+        from repro.lang.query import compile_query
+        series = make_series([1, 2, 3])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (DN)\n"
+            "DEFINE SEGMENT DN AS last(DN.val) < first(DN.val)")
+        assert TRexEngine().explain_match(query, series, 0, 2) == []

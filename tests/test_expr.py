@@ -1,0 +1,170 @@
+"""Expression evaluation and static-analysis tests."""
+
+import math
+
+import pytest
+
+from repro.errors import BindError, ExecutionError
+from repro.lang import expr as E
+from repro.lang.parser import parse_condition
+
+from tests.conftest import make_series
+
+
+def evaluate(text, series, start, end, variable=None, refs=None,
+             params=None):
+    cond = parse_condition(text, params=params)
+    ctx = E.EvalContext(series, start, end, variable=variable, refs=refs)
+    return E.evaluate(cond, ctx)
+
+
+class TestEvaluation:
+    def test_first_last(self):
+        series = make_series([10, 20, 30, 40])
+        assert evaluate("first(val)", series, 1, 3) == 20
+        assert evaluate("last(val)", series, 1, 3) == 40
+
+    def test_bare_column_is_last_value(self):
+        series = make_series([10, 20, 30])
+        assert evaluate("val", series, 0, 2) == 30
+
+    def test_arithmetic(self):
+        series = make_series([2, 4])
+        assert evaluate("last(val) / first(val) + 1", series, 0, 1) == 3.0
+
+    def test_division_by_zero_is_inf(self):
+        series = make_series([0, 4])
+        assert evaluate("last(val) / first(val)", series, 0, 1) == math.inf
+
+    def test_comparisons(self):
+        series = make_series([1, 5])
+        assert evaluate("last(val) > first(val)", series, 0, 1) is True
+        assert evaluate("last(val) <= 4", series, 0, 1) is False
+
+    def test_between_inclusive(self):
+        series = make_series([1, 2, 3])
+        assert evaluate("last(tstamp) - first(tstamp) BETWEEN 2 AND 2",
+                        series, 0, 2) is True
+
+    def test_boolean_short_circuit(self):
+        series = make_series([1, 2])
+        # The right side would divide by zero on a single point; AND must
+        # short-circuit on the false left side.
+        result = evaluate("false AND 1 / 0 > 1", series, 0, 0)
+        assert result is False
+
+    def test_not(self):
+        series = make_series([1, 2])
+        assert evaluate("NOT last(val) > 10", series, 0, 1) is True
+
+    def test_aggregate_call(self):
+        series = make_series([1, 2, 3, 4])
+        value = evaluate("linear_reg_r2(tstamp, val)", series, 0, 3)
+        assert value == pytest.approx(1.0)
+
+    def test_string_equality(self):
+        import numpy as np
+        series = make_series([1, 2], extra={
+            "name": np.asarray(["x", "y"], dtype=object)})
+        assert evaluate("name = 'y'", series, 0, 1) is True
+
+    def test_reference_resolution(self):
+        series = make_series([1, 2, 3, 4, 5, 6])
+        value = evaluate("corr(X.val, UP.val)", series, 3, 5, variable="X",
+                         refs={"UP": (0, 2)})
+        assert value == pytest.approx(1.0)
+
+    def test_missing_reference_raises(self):
+        series = make_series([1, 2, 3])
+        with pytest.raises(ExecutionError):
+            evaluate("first(GHOST.val)", series, 0, 1, variable="X",
+                     refs={})
+
+    def test_unbound_param_raises(self):
+        series = make_series([1])
+        with pytest.raises(ExecutionError):
+            evaluate(":x > 1", series, 0, 0)
+
+    def test_window_call_cannot_evaluate(self):
+        series = make_series([1, 2])
+        with pytest.raises(ExecutionError):
+            evaluate("window(1, 5)", series, 0, 1)
+
+    def test_condition_none_is_true(self):
+        series = make_series([1])
+        ctx = E.EvalContext(series, 0, 0)
+        assert E.evaluate_condition(None, ctx) is True
+
+    def test_interval_converts_to_series_units(self):
+        series = make_series([1, 2], time_unit="HOUR")
+        value = evaluate("INTERVAL '2' DAY", series, 0, 1)
+        assert value == 48.0
+
+    def test_interval_native_unit(self):
+        series = make_series([1, 2], time_unit="DAY")
+        assert evaluate("INTERVAL '5' DAY", series, 0, 1) == 5.0
+
+    def test_truthiness_of_numeric_condition(self):
+        series = make_series([1, 2, 1])
+        # equal_up_down_ticks returns 1.0/0.0; bare call used as condition.
+        cond = parse_condition("equal_up_down_ticks(val)")
+        ctx = E.EvalContext(series, 0, 2)
+        assert E.evaluate_condition(cond, ctx) is True
+
+
+class TestTruthy:
+    @pytest.mark.parametrize("value,expected", [
+        (True, True), (False, False), (1, True), (0, False),
+        (0.0, False), (2.5, True), ("", False), ("x", True),
+        (float("nan"), False),
+    ])
+    def test_values(self, value, expected):
+        assert E.truthy(value) is expected
+
+
+class TestAnalysis:
+    def test_referenced_variables(self):
+        cond = parse_condition("corr(X.v, UP.v) > 0.5 AND first(W.v) < 1")
+        assert E.referenced_variables(cond) == frozenset({"X", "UP", "W"})
+
+    def test_external_references_excludes_self(self):
+        cond = parse_condition("corr(X.v, UP.v) > 0.5")
+        assert E.external_references(cond, "X") == frozenset({"UP"})
+
+    def test_aggregate_calls(self):
+        cond = parse_condition("sum(a) > 1 AND avg(b) < 2")
+        assert [c.name for c in E.aggregate_calls(cond)] == ["sum", "avg"]
+
+    def test_columns_used(self):
+        cond = parse_condition("last(X.p) - first(q) > r")
+        assert E.columns_used(cond) == frozenset({"p", "q", "r"})
+
+    def test_parameters_used(self):
+        cond = parse_condition("a > :x AND b < :y")
+        assert E.parameters_used(cond) == frozenset({"x", "y"})
+
+    def test_substitute_params(self):
+        cond = parse_condition("a > :x")
+        bound = E.substitute_params(cond, {"x": 3})
+        assert E.parameters_used(bound) == frozenset()
+
+    def test_substitute_missing_param_raises(self):
+        cond = parse_condition("a > :x")
+        with pytest.raises(BindError):
+            E.substitute_params(cond, {})
+
+    def test_rename_variable(self):
+        cond = parse_condition("first(U.v) > last(U.v)")
+        renamed = E.rename_variable(cond, "U", "UU")
+        assert E.referenced_variables(renamed) == frozenset({"UU"})
+
+    def test_split_and_conjoin(self):
+        cond = parse_condition("a > 1 AND b > 2 AND c > 3")
+        conjuncts = E.split_conjuncts(cond)
+        assert len(conjuncts) == 3
+        rebuilt = E.conjoin(conjuncts)
+        assert E.split_conjuncts(rebuilt) == conjuncts
+
+    def test_split_true_is_empty(self):
+        assert E.split_conjuncts(E.Literal(True)) == []
+        assert E.conjoin([]) is None

@@ -1,0 +1,104 @@
+"""Appendix A (Lemma A.1) tests: special-pattern reduction equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import BruteForceMatcher
+from repro.errors import PlanError
+from repro.lang.expressiveness import (enumerate_special_patterns,
+                                       matches_via_special_patterns)
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+
+_DEFINES = {"A": "A AS val > 0", "B": "B AS val < 0", "C": "C AS val = 0"}
+
+
+def point_query(pattern_text):
+    used = [name for name in ("A", "B", "C") if name in pattern_text]
+    defines = ", ".join(_DEFINES[name] for name in used)
+    return compile_query(
+        f"ORDER BY tstamp\nPATTERN ({pattern_text})\nDEFINE {defines}")
+
+
+class TestEnumeration:
+    def test_single_variable(self):
+        query = point_query("A")
+        assert enumerate_special_patterns(query.pattern, query, 5) == \
+            [("A",)]
+
+    def test_concatenation(self):
+        query = point_query("A B")
+        assert enumerate_special_patterns(query.pattern, query, 5) == \
+            [("A", "B")]
+
+    def test_alternation(self):
+        query = point_query("A | B C")
+        specials = enumerate_special_patterns(query.pattern, query, 5)
+        assert ("A",) in specials and ("B", "C") in specials
+
+    def test_kleene_bounded_by_length(self):
+        query = point_query("A+")
+        specials = enumerate_special_patterns(query.pattern, query, 3)
+        assert specials == [("A",), ("A", "A"), ("A", "A", "A")]
+
+    def test_kleene_star_includes_empty_extension(self):
+        query = point_query("A* B")
+        specials = enumerate_special_patterns(query.pattern, query, 3)
+        assert ("B",) in specials
+        assert ("A", "B") in specials
+        assert ("A", "A", "B") in specials
+
+    def test_optional(self):
+        query = point_query("A? B")
+        specials = enumerate_special_patterns(query.pattern, query, 4)
+        assert specials == [("A", "B"), ("B",)]
+
+    def test_nested(self):
+        query = point_query("(A | B){2}")
+        specials = enumerate_special_patterns(query.pattern, query, 4)
+        assert len(specials) == 4  # AA AB BA BB
+
+    def test_segment_variable_rejected(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS last(S.val) > 0")
+        with pytest.raises(PlanError):
+            enumerate_special_patterns(query.pattern, query, 5)
+
+    def test_and_rejected(self):
+        query = point_query("A & B")
+        with pytest.raises(PlanError):
+            enumerate_special_patterns(query.pattern, query, 5)
+
+
+class TestEquivalence:
+    """Lemma A.1, executably: the special-pattern alternation matches the
+    same segments as the original pattern."""
+
+    PATTERNS = ["A B", "A | B", "A+", "A? B", "A B+ C?", "(A B)+",
+                "(A | B) C", "A{1,3}"]
+
+    @pytest.mark.parametrize("pattern_text", PATTERNS)
+    def test_agrees_with_bruteforce(self, pattern_text):
+        query = point_query(pattern_text)
+        rng = np.random.default_rng(42)
+        series = make_series(rng.choice([-1.0, 0.0, 1.0], size=12))
+        expected = BruteForceMatcher(query).match_series(series)
+        via_specials = matches_via_special_patterns(query.pattern, query,
+                                                    series)
+        assert via_specials == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 9999),
+           pattern_text=st.sampled_from(PATTERNS))
+    def test_fuzz_equivalence(self, seed, pattern_text):
+        query = point_query(pattern_text)
+        rng = np.random.default_rng(seed)
+        series = make_series(rng.choice([-1.0, 0.0, 1.0], size=9))
+        expected = BruteForceMatcher(query).match_series(series)
+        assert matches_via_special_patterns(query.pattern, query,
+                                            series) == expected

@@ -1,0 +1,158 @@
+"""Failure injection: malformed inputs must fail loudly and clearly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import TRexEngine, Table, find_matches
+from repro.core.bruteforce import BruteForceMatcher
+from repro.errors import (BindError, DataError, PlanError, QuerySyntaxError,
+                          TRexError)
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+
+class TestSyntaxFailures:
+    @pytest.mark.parametrize("text", [
+        "PATTERN",                                  # dangling clause
+        "ORDER BY\nPATTERN (A)",                    # missing column
+        "ORDER BY t\nPATTERN (A",                   # unbalanced paren
+        "ORDER BY t\nPATTERN (A)\nDEFINE A AS",     # missing condition
+        "ORDER BY t\nPATTERN (A) DEFINE",           # DEFINE without entries
+        "ORDER BY t\nPATTERN ()",                   # empty pattern
+        "ORDER BY t\nPATTERN (A{,3})",              # malformed quantifier
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            compile_query(text)
+
+    def test_error_carries_position(self):
+        try:
+            compile_query("ORDER BY t\nPATTERN (A @ B)")
+        except QuerySyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected a syntax error")
+
+
+class TestBindFailures:
+    def test_all_errors_are_trex_errors(self):
+        for exc in (QuerySyntaxError, BindError, PlanError, DataError):
+            assert issubclass(exc, TRexError)
+
+    def test_segment_keyword_required_for_window(self):
+        with pytest.raises(BindError):
+            compile_query("ORDER BY t\nPATTERN (A)\n"
+                          "DEFINE A AS window(1, 2)")
+
+    def test_self_referential_only(self):
+        # A window bound to a different variable's column is rejected.
+        with pytest.raises(BindError):
+            compile_query("ORDER BY t\nPATTERN (A B)\n"
+                          "DEFINE SEGMENT A AS window(B.t, 1, 2, DAY),\n"
+                          "SEGMENT B AS true")
+
+
+class TestDataFailures:
+    def test_query_column_missing_from_table(self):
+        table = Table({"tstamp": [0.0, 1.0], "price": [1.0, 2.0]})
+        with pytest.raises(DataError):
+            find_matches(table, "ORDER BY tstamp\nPATTERN (A)\n"
+                                "DEFINE A AS volume > 1")
+
+    def test_nan_values_do_not_match_comparisons(self):
+        series = make_series([1.0, math.nan, 3.0])
+        query = compile_query("ORDER BY tstamp\nPATTERN (A)\n"
+                              "DEFINE A AS val > 0")
+        got = TRexEngine().execute_query(query, [series])
+        assert got.per_series[0].matches == [(0, 0), (2, 2)]
+
+    def test_nan_in_aggregate_is_not_a_match(self):
+        series = make_series([1.0, math.nan, 3.0, 4.0, 5.0])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS window(1, 3) AND "
+            "linear_reg_r2_signed(S.tstamp, S.val) >= 0.9")
+        got = TRexEngine().execute_query(query, [series])
+        # Segments touching the NaN cannot satisfy the R2 threshold.
+        assert all(not (s <= 1 <= e) for s, e in got.per_series[0].matches)
+
+    def test_empty_table(self):
+        table = Table({"tstamp": np.asarray([], dtype=np.float64),
+                       "val": np.asarray([], dtype=np.float64)})
+        result = find_matches(table, "ORDER BY tstamp\nPATTERN (A)\n"
+                                     "DEFINE A AS val > 1")
+        assert result.total_matches == 0
+
+
+class TestScopingFailures:
+    def test_reference_into_not_body(self):
+        text = """
+        ORDER BY tstamp
+        PATTERN (X & ~(F W)) & WIN
+        DEFINE SEGMENT X AS corr(X.val, F.val) > 0.5,
+          SEGMENT F AS last(F.val) < first(F.val),
+          SEGMENT W AS true,
+          SEGMENT WIN AS window(1, 5)
+        """
+        query = compile_query(text)
+        with pytest.raises(PlanError):
+            TRexEngine().execute_query(query, [make_series([1, 2, 3])])
+
+    def test_reference_into_kleene_body(self):
+        text = """
+        ORDER BY tstamp
+        PATTERN ((R & W)+ X) & WIN
+        DEFINE SEGMENT R AS last(R.val) > first(R.val),
+          SEGMENT W AS window(1, 2),
+          SEGMENT X AS corr(X.val, R.val) > 0.5,
+          SEGMENT WIN AS window(1, 8)
+        """
+        query = compile_query(text)
+        with pytest.raises(PlanError):
+            TRexEngine().execute_query(query, [make_series([1, 2, 3])])
+
+    def test_zero_min_kleene_guided_rejection(self):
+        text = """
+        ORDER BY tstamp
+        PATTERN ((S & W)*) & WIN
+        DEFINE SEGMENT S AS last(S.val) > first(S.val),
+          SEGMENT W AS window(1, 2), SEGMENT WIN AS window(0, 5)
+        """
+        query = compile_query(text)
+        series = make_series([1, 2, 3])
+        with pytest.raises((PlanError, ValueError)):
+            TRexEngine().execute_query(query, [series])
+        with pytest.raises(PlanError):
+            BruteForceMatcher(query).match_series(series)
+
+
+class TestRuntimeEdgeCases:
+    def test_division_by_zero_condition(self):
+        series = make_series([0.0, 1.0, 2.0])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\nDEFINE SEGMENT S AS "
+            "last(S.val) / first(S.val) > 2 AND window(1, 2)")
+        got = TRexEngine().execute_query(query, [series])
+        # first=0 -> inf > 2 is true; matches starting at index 0 count.
+        assert (0, 1) in got.per_series[0].matches
+
+    def test_constant_series(self):
+        series = make_series([5.0] * 10)
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\nDEFINE SEGMENT S AS "
+            "window(1, 3) AND linear_reg_r2_signed(S.tstamp, S.val) >= 0.5")
+        got = TRexEngine().execute_query(query, [series])
+        assert got.total_matches == 0
+
+    def test_two_point_series(self):
+        series = make_series([1.0, 2.0])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (DN UP) & WIN\n"
+            "DEFINE SEGMENT DN AS last(DN.val) < first(DN.val),\n"
+            "SEGMENT UP AS last(UP.val) > first(UP.val),\n"
+            "SEGMENT WIN AS window(1, 4)")
+        got = TRexEngine().execute_query(query, [series])
+        assert got.total_matches == 0

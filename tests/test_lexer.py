@@ -1,0 +1,71 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.lang.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        tokens = kinds("PATTERN foo Bar DEFINE")
+        assert tokens == [("keyword", "PATTERN"), ("ident", "foo"),
+                          ("ident", "Bar"), ("keyword", "DEFINE")]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("define")[0][0] == "keyword"
+        assert kinds("Segment")[0][0] == "keyword"
+
+    def test_numbers(self):
+        assert kinds("1 2.5 0.95 1e3 2.5e-2") == [
+            ("number", "1"), ("number", "2.5"), ("number", "0.95"),
+            ("number", "1e3"), ("number", "2.5e-2")]
+
+    def test_number_then_dot_ident(self):
+        # "1." followed by an identifier must not swallow the dot.
+        tokens = kinds("A1.price")
+        assert tokens == [("ident", "A1"), ("op", "."), ("ident", "price")]
+
+    def test_params(self):
+        assert kinds(":alpha :x_1") == [("param", "alpha"), ("param", "x_1")]
+
+    def test_strings(self):
+        assert kinds("'GOOG'") == [("string", "GOOG")]
+
+    def test_string_escaped_quote(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    def test_multi_char_operators(self):
+        assert [t for _, t in kinds("<= >= != <> ==")] == [
+            "<=", ">=", "!=", "<>", "=="]
+
+    def test_single_char_operators(self):
+        assert [t for _, t in kinds("( ) { } & | ~ * + ? = < > - /")] == [
+            "(", ")", "{", "}", "&", "|", "~", "*", "+", "?", "=", "<",
+            ">", "-", "/"]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a @ b")
+
+    def test_positions(self):
+        tokens = tokenize("a\n  bb")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("_x a_b_c") == [("ident", "_x"), ("ident", "a_b_c")]

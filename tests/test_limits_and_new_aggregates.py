@@ -1,0 +1,122 @@
+"""Engine deadline/limit features and the shape-stats aggregates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import DEFAULT_REGISTRY
+from repro.aggregates.shape_stats import MaxDrawdown, Median, Slope
+from repro.core.engine import TRexEngine
+from repro.errors import PlanError, QueryTimeout
+from repro.lang.query import compile_query
+
+from tests.conftest import make_series
+
+floats = st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False),
+                  min_size=2, max_size=30)
+
+
+class TestSlope:
+    def test_linear(self):
+        x = np.arange(8.0)
+        assert Slope().evaluate([x, 3 * x - 2], []) == pytest.approx(3.0)
+
+    def test_constant_x_zero(self):
+        assert Slope().evaluate([np.ones(5), np.arange(5.0)], []) == 0.0
+
+    @given(floats)
+    @settings(max_examples=30, deadline=None)
+    def test_index_matches_direct(self, values):
+        agg = Slope()
+        x = np.arange(float(len(values)))
+        y = np.asarray(values)
+        index = agg.build_index([x, y], [])
+        for start in range(0, len(values) - 1, max(len(values) // 4, 1)):
+            end = min(start + 6, len(values) - 1)
+            assert index.lookup(start, end) == pytest.approx(
+                agg.evaluate([x[start:end + 1], y[start:end + 1]], []),
+                abs=1e-6)
+
+    def test_registered(self):
+        assert "slope" in DEFAULT_REGISTRY
+
+
+class TestMedianAndDrawdown:
+    def test_median(self):
+        assert Median().evaluate([np.asarray([5.0, 1.0, 9.0])], []) == 5.0
+
+    def test_median_not_indexable(self):
+        assert not Median().supports_index
+
+    def test_drawdown_simple(self):
+        values = np.asarray([10.0, 12.0, 6.0, 8.0])
+        assert MaxDrawdown().evaluate([values], []) == pytest.approx(0.5)
+
+    def test_drawdown_monotone_rise_is_zero(self):
+        assert MaxDrawdown().evaluate([np.arange(1.0, 6.0)], []) == 0.0
+
+    def test_drawdown_in_query(self):
+        series = make_series([10, 12, 6, 8, 9])
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\nDEFINE SEGMENT S AS "
+            "max_drawdown(S.val) >= 0.4 AND window(1, 4)")
+        result = TRexEngine().execute_query(query, [series])
+        assert (1, 2) in result.per_series[0].matches
+
+    @given(floats)
+    @settings(max_examples=30, deadline=None)
+    def test_drawdown_bounded(self, values):
+        arr = np.asarray(values) + 100.0  # keep positive
+        value = MaxDrawdown().evaluate([arr], [])
+        assert 0.0 <= value <= 1.0
+
+
+QUERY = """
+ORDER BY tstamp
+PATTERN ((DN & W) (UP & W)) & WINDOW
+DEFINE SEGMENT W AS window(2, null),
+  SEGMENT DN AS linear_reg_r2_signed(DN.tstamp, DN.val) <= -0.5,
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.5,
+  SEGMENT WINDOW AS window(1, 20)
+"""
+
+
+class TestLimits:
+    def make_series_list(self, count=3, n=60):
+        rng = np.random.default_rng(0)
+        return [make_series(np.cumsum(rng.normal(0, 1, n)) + 50,
+                            key=(f"s{i}",)) for i in range(count)]
+
+    def test_max_matches_truncates(self):
+        query = compile_query(QUERY)
+        series_list = self.make_series_list()
+        full = TRexEngine().execute_query(query, series_list)
+        limited = TRexEngine(max_matches=5).execute_query(query,
+                                                          series_list)
+        assert full.total_matches > 5
+        assert limited.total_matches == 5
+        # The limited matches are a subset of the full ones.
+        full_set = set(full.all_matches())
+        assert set(limited.all_matches()) <= full_set
+
+    def test_timeout_raises(self):
+        query = compile_query(QUERY)
+        rng = np.random.default_rng(1)
+        big = [make_series(np.cumsum(rng.normal(0, 1, 2500)) + 50)]
+        engine = TRexEngine(optimizer="batch", sharing="off",
+                            timeout_seconds=0.05)
+        with pytest.raises(QueryTimeout):
+            engine.execute_query(query, big)
+
+    def test_generous_timeout_fine(self):
+        query = compile_query(QUERY)
+        engine = TRexEngine(timeout_seconds=60.0)
+        result = engine.execute_query(query, self.make_series_list(1, 40))
+        assert result.total_matches >= 0
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(PlanError):
+            TRexEngine(timeout_seconds=0)
+        with pytest.raises(PlanError):
+            TRexEngine(max_matches=0)

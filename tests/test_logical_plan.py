@@ -1,0 +1,231 @@
+"""Logical plan construction: window embedding, push-down, boundary kinds."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.lang.query import compile_query
+from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
+                                build_logical_plan, walk)
+
+
+def plan_for(text, params=None):
+    return build_logical_plan(compile_query(text, params))
+
+
+class TestWindowEmbedding:
+    def test_window_leaf_absorbed_into_and(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A & WIN)\n"
+                        "DEFINE SEGMENT A AS last(A.v) > 1,\n"
+                        "SEGMENT WIN AS window(2, 9)")
+        # The And collapses: only the A leaf remains, window embedded.
+        assert isinstance(plan, LVar)
+        assert plan.var.name == "A"
+        assert not plan.window.is_wild
+
+    def test_multiple_children_keep_and(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A & B & WIN)\n"
+                        "DEFINE SEGMENT A AS last(A.v) > 1,\n"
+                        "SEGMENT B AS first(B.v) < 9,\n"
+                        "SEGMENT WIN AS window(2, 9)")
+        assert isinstance(plan, LAnd)
+        assert len(plan.parts) == 2
+        for part in plan.parts:
+            lo, hi = part.window.point_duration_bounds()
+            assert (lo, hi) == (2, 9)
+
+    def test_pure_window_pattern(self):
+        plan = plan_for("ORDER BY t\nPATTERN (WIN)\n"
+                        "DEFINE SEGMENT WIN AS window(1, 4)")
+        assert isinstance(plan, LVar)
+
+    def test_point_var_gets_zero_duration_window(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A B)\nDEFINE A AS v < 1")
+        leaves = [n for n in walk(plan) if isinstance(n, LVar)]
+        for leaf in leaves:
+            lo, hi = leaf.window.point_duration_bounds()
+            assert (lo, hi) == (0, 0)
+
+
+class TestWindowPushDown:
+    TEXT = """
+    ORDER BY t
+    PATTERN ((W1 (DOWN & W2) W1) & WIN)
+    DEFINE SEGMENT W1 AS true,
+      SEGMENT W2 AS window(1, 5),
+      SEGMENT DOWN AS last(DOWN.v) < first(DOWN.v),
+      SEGMENT WIN AS window(25, 30)
+    """
+
+    def test_upper_bound_reaches_leaves(self):
+        plan = plan_for(self.TEXT)
+        leaves = {n.var.name: n for n in walk(plan) if isinstance(n, LVar)}
+        lo, hi = leaves["W1"].window.point_duration_bounds()
+        assert (lo, hi) == (0, 30)  # relaxed: no lower bound
+        lo, hi = leaves["DOWN"].window.point_duration_bounds()
+        assert (lo, hi) == (1, 5)   # own window survives; upper 30 added
+
+    def test_lower_bound_not_pushed_through_concat(self):
+        plan = plan_for(self.TEXT)
+        concat = next(n for n in walk(plan) if isinstance(n, LConcat))
+        lo, hi = concat.window.point_duration_bounds()
+        assert lo == 25  # the Concat node itself keeps the lower bound
+
+    def test_and_pushes_full_window(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A & B & WIN)\n"
+                        "DEFINE SEGMENT A AS last(A.v) > 1,\n"
+                        "SEGMENT B AS first(B.v) < 9,\n"
+                        "SEGMENT WIN AS window(3, 9)")
+        for leaf in (n for n in walk(plan) if isinstance(n, LVar)):
+            lo, hi = leaf.window.point_duration_bounds()
+            assert lo == 3  # lower bound kept across And
+
+    def test_kleene_child_relaxed(self):
+        plan = plan_for("ORDER BY t\nPATTERN ((UP & W)+) & WIN\n"
+                        "DEFINE SEGMENT W AS window(2, 4),\n"
+                        "SEGMENT UP AS last(UP.v) > first(UP.v),\n"
+                        "SEGMENT WIN AS window(6, 12)")
+        kleene = next(n for n in walk(plan) if isinstance(n, LKleene))
+        lo, hi = kleene.child.window.point_duration_bounds()
+        assert (lo, hi) == (2, 4)  # own bounds kept, parent's lower relaxed
+        klo, khi = kleene.window.point_duration_bounds()
+        assert (klo, khi) == (6, 12)
+
+
+class TestBoundaryKinds:
+    def test_point_point_gap(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A B)\nDEFINE A AS v < 1")
+        assert isinstance(plan, LConcat)
+        assert plan.gaps == (1,)
+
+    def test_segment_involvement_shares_boundary(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A W)\nDEFINE A AS v < 1,\n"
+                        "SEGMENT W AS true")
+        assert plan.gaps == (0,)
+
+    def test_mixed_chain(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A B W)\nDEFINE A AS v < 1,\n"
+                        "B AS v > 0, SEGMENT W AS true")
+        assert plan.gaps == (1, 0)
+
+    def test_kleene_gap_from_child_kinds(self):
+        plan = plan_for("ORDER BY t\nPATTERN (A+) & WIN\nDEFINE A AS v < 1,"
+                        "\nSEGMENT WIN AS window(0, 9)")
+        kleene = next(n for n in walk(plan) if isinstance(n, LKleene))
+        assert kleene.gap == 1
+
+    def test_segment_kleene_gap_zero(self):
+        plan = plan_for("ORDER BY t\nPATTERN ((S & W)+) & WIN\n"
+                        "DEFINE SEGMENT S AS last(S.v) > 1,\n"
+                        "SEGMENT W AS window(1, 3),\n"
+                        "SEGMENT WIN AS window(0, 9)")
+        kleene = next(n for n in walk(plan) if isinstance(n, LKleene))
+        assert kleene.gap == 0
+
+
+class TestProvidesRequires:
+    TEXT = """
+    ORDER BY t
+    PATTERN (UP GAP X) & WIN
+    DEFINE SEGMENT UP AS last(UP.v) > 1,
+      SEGMENT GAP AS true,
+      SEGMENT X AS corr(X.v, UP.v) > 0.5,
+      SEGMENT WIN AS window(0, 20)
+    """
+
+    def test_leaf_requires(self):
+        plan = plan_for(self.TEXT)
+        leaves = {n.var.name: n for n in walk(plan) if isinstance(n, LVar)}
+        assert leaves["X"].requires == frozenset({"UP"})
+        assert leaves["UP"].requires == frozenset()
+
+    def test_subtree_requires_closed(self):
+        plan = plan_for(self.TEXT)
+        # At the root, UP is provided internally, so nothing is required.
+        assert plan.requires == frozenset()
+        assert "UP" in plan.provides and "X" in plan.provides
+
+    def test_not_provides_nothing(self):
+        plan = plan_for("ORDER BY t\nPATTERN R & WIN & ~(F W)\n"
+                        "DEFINE SEGMENT R AS last(R.v) > 1,\n"
+                        "SEGMENT WIN AS window(0, 9),\n"
+                        "SEGMENT F AS last(F.v) < 1, SEGMENT W AS true")
+        negation = next(n for n in walk(plan) if isinstance(n, LNot))
+        assert negation.provides == frozenset()
+
+    def test_reference_to_missing_variable_rejected(self):
+        # GHOST appears in the pattern nowhere -> the binder rejects it
+        # before planning even starts.
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            plan_for("ORDER BY t\nPATTERN (X)\n"
+                     "DEFINE SEGMENT X AS corr(X.v, GHOST.v) > 0.5")
+
+
+class TestDescribe:
+    def test_describe_smoke(self):
+        plan = plan_for("ORDER BY t\nPATTERN ((A | B) C?) & WIN\n"
+                        "DEFINE A AS v < 1, B AS v > 2, C AS v = 0,\n"
+                        "SEGMENT WIN AS window(0, 9)")
+        text = plan.describe()
+        assert "A" in text and "|" in text
+
+
+class TestOptionalNormalization:
+    def test_optional_point_in_concat(self):
+        from repro.core.bruteforce import BruteForceMatcher
+        from tests.conftest import make_series
+        query = compile_query("ORDER BY tstamp\nPATTERN (A? B)\n"
+                              "DEFINE A AS val > 0, B AS val < 0")
+        series = make_series([1, -1, -2, 1])
+        got = sorted(BruteForceMatcher(query).match_series(series))
+        # B alone: indices 1, 2; A B: (0,1).
+        assert got == [(0, 1), (1, 1), (2, 2)]
+
+    def test_star_point_in_concat(self):
+        from repro.core.bruteforce import BruteForceMatcher
+        from tests.conftest import make_series
+        query = compile_query("ORDER BY tstamp\nPATTERN (A* B)\n"
+                              "DEFINE A AS val > 0, B AS val < 0")
+        series = make_series([1, 1, -1])
+        got = sorted(BruteForceMatcher(query).match_series(series))
+        assert got == [(0, 2), (1, 2), (2, 2)]
+
+    def test_bare_optional_becomes_single(self):
+        query = compile_query("ORDER BY tstamp\nPATTERN (A?)\n"
+                              "DEFINE A AS val > 0")
+        plan = build_logical_plan(query)
+        assert isinstance(plan, LVar)
+
+    def test_all_optional_rejected(self):
+        from repro.errors import PlanError
+        query = compile_query("ORDER BY tstamp\nPATTERN (A? B?)\n"
+                              "DEFINE A AS val > 0, B AS val < 0")
+        # Expansion keeps the non-empty variants; empty-only would raise.
+        plan = build_logical_plan(query)
+        assert plan is not None
+
+    def test_segment_star_still_rejected(self):
+        from repro.errors import PlanError
+        from repro.core.bruteforce import BruteForceMatcher
+        from tests.conftest import make_series
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S*) & WIN\n"
+            "DEFINE SEGMENT S AS last(S.val) > 0,\n"
+            "SEGMENT WIN AS window(0, 5)")
+        series = make_series([1, 2])
+        with pytest.raises(PlanError):
+            BruteForceMatcher(query).match_series(series)
+
+    def test_engine_agrees_on_optionals(self):
+        import numpy as np
+        from repro.core.bruteforce import BruteForceMatcher
+        from repro.core.engine import TRexEngine
+        from tests.conftest import make_series
+        query = compile_query("ORDER BY tstamp\nPATTERN (A? B C?) & WIN\n"
+                              "DEFINE A AS val > 0, B AS val < 0,\n"
+                              "C AS val = 0, SEGMENT WIN AS window(0, 4)")
+        rng = np.random.default_rng(3)
+        series = make_series(rng.choice([-1.0, 0.0, 1.0], size=14))
+        expected = sorted(BruteForceMatcher(query).match_series(series))
+        got = TRexEngine().execute_query(query, [series]).per_series[0].matches
+        assert got == expected

@@ -1,0 +1,220 @@
+"""Parser tests: patterns, conditions, clauses, errors."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.lang import expr as E
+from repro.lang import pattern as P
+from repro.lang.parser import parse, parse_condition, parse_pattern
+
+
+class TestPatternGrammar:
+    def test_single_variable(self):
+        assert parse_pattern("A") == P.VarRef("A")
+
+    def test_concatenation(self):
+        pattern = parse_pattern("A B C")
+        assert isinstance(pattern, P.Concat)
+        assert [p.name for p in pattern.parts] == ["A", "B", "C"]
+
+    def test_and_precedence_looser_than_concat(self):
+        pattern = parse_pattern("A B & C")
+        assert isinstance(pattern, P.And)
+        assert isinstance(pattern.parts[0], P.Concat)
+
+    def test_or_loosest(self):
+        pattern = parse_pattern("A & B | C")
+        assert isinstance(pattern, P.Or)
+        assert isinstance(pattern.parts[0], P.And)
+
+    def test_not_binds_tight(self):
+        pattern = parse_pattern("A & ~(B C)")
+        assert isinstance(pattern, P.And)
+        negation = pattern.parts[1]
+        assert isinstance(negation, P.Not)
+        assert isinstance(negation.child, P.Concat)
+
+    def test_kleene_star(self):
+        pattern = parse_pattern("A*")
+        assert pattern == P.Kleene(P.VarRef("A"), 0, None)
+
+    def test_kleene_plus(self):
+        assert parse_pattern("A+") == P.Kleene(P.VarRef("A"), 1, None)
+
+    def test_kleene_question(self):
+        assert parse_pattern("A?") == P.Kleene(P.VarRef("A"), 0, 1)
+
+    def test_kleene_exact(self):
+        assert parse_pattern("A{3}") == P.Kleene(P.VarRef("A"), 3, 3)
+
+    def test_kleene_range(self):
+        assert parse_pattern("A{2,5}") == P.Kleene(P.VarRef("A"), 2, 5)
+
+    def test_kleene_open_range(self):
+        assert parse_pattern("A{2,}") == P.Kleene(P.VarRef("A"), 2, None)
+
+    def test_kleene_param_bound(self):
+        pattern = parse_pattern("A{:k}", params={"k": 4})
+        assert pattern == P.Kleene(P.VarRef("A"), 4, 4)
+
+    def test_kleene_param_missing(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_pattern("A{:k}")
+
+    def test_nested_parens(self):
+        pattern = parse_pattern("((A B) & C) D")
+        assert isinstance(pattern, P.Concat)
+        assert isinstance(pattern.parts[0], P.And)
+
+    def test_flattening(self):
+        pattern = parse_pattern("A & B & C")
+        assert isinstance(pattern, P.And)
+        assert len(pattern.parts) == 3
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_pattern("A )")
+
+    def test_describe_round_trip(self):
+        text = "((A (B & C) D) & E)"
+        pattern = parse_pattern(text)
+        assert parse_pattern(pattern.describe()) == pattern
+
+
+class TestConditionGrammar:
+    def test_comparison(self):
+        cond = parse_condition("a < 3")
+        assert cond == E.Binary("<", E.ColumnRef(None, "a"), E.Literal(3))
+
+    def test_qualified_column(self):
+        cond = parse_condition("UP.price >= 2.5")
+        assert cond.left == E.ColumnRef("UP", "price")
+
+    def test_arithmetic_precedence(self):
+        cond = parse_condition("1 + 2 * 3 = 7")
+        left = cond.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_unary_minus(self):
+        cond = parse_condition("-:x", params={"x": 5})
+        assert cond == E.Unary("-", E.Literal(5))
+
+    def test_between(self):
+        cond = parse_condition("a BETWEEN 1 AND 5")
+        assert isinstance(cond, E.Between)
+
+    def test_boolean_precedence(self):
+        cond = parse_condition("a > 1 AND b > 2 OR c > 3")
+        assert cond.op == "or"
+        assert cond.left.op == "and"
+
+    def test_not(self):
+        cond = parse_condition("NOT a > 1")
+        assert cond == E.Unary("not", parse_condition("a > 1"))
+
+    def test_first_last(self):
+        cond = parse_condition("last(X.v) - first(X.v) < 0")
+        assert isinstance(cond.left.left, E.PointAccess)
+        assert cond.left.left.which == "last"
+
+    def test_first_requires_column(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_condition("first(1 + 2)")
+
+    def test_aggregate_call(self):
+        cond = parse_condition("linear_reg_r2(X.t, X.v) >= 0.9")
+        call = cond.left
+        assert isinstance(call, E.AggCall)
+        assert call.name == "linear_reg_r2"
+        assert len(call.columns) == 2
+
+    def test_aggregate_extra_args(self):
+        cond = parse_condition("zscore_outlier(price, 15) > 2.5")
+        call = cond.left
+        assert len(call.columns) == 1
+        assert call.extra == (E.Literal(15),)
+
+    def test_window_call(self):
+        cond = parse_condition("window(1, 5)")
+        assert isinstance(cond, E.WindowCall)
+
+    def test_window_time_form(self):
+        cond = parse_condition("window(tstamp, 25, 30, DAY)")
+        assert isinstance(cond, E.WindowCall)
+        assert len(cond.args) == 4
+
+    def test_string_literal(self):
+        cond = parse_condition("ticker = 'GOOG'")
+        assert cond.right == E.Literal("GOOG")
+
+    def test_true_false_null(self):
+        assert parse_condition("true") == E.Literal(True)
+        assert parse_condition("false") == E.Literal(False)
+        assert parse_condition("null") == E.Literal(None)
+
+    def test_params_substituted_at_parse(self):
+        assert parse_condition(":x", params={"x": 2.5}) == E.Literal(2.5)
+
+    def test_params_left_unbound(self):
+        assert parse_condition(":x") == E.Param("x")
+
+    def test_division(self):
+        cond = parse_condition("a / b > 1 / :r", params={"r": 4})
+        assert cond.left.op == "/"
+
+    def test_integer_vs_float_literal(self):
+        assert parse_condition("3") == E.Literal(3)
+        assert parse_condition("3.0") == E.Literal(3.0)
+
+    def test_interval_literal(self):
+        cond = parse_condition("a <= INTERVAL '5' DAY")
+        assert cond.right == E.Interval(5.0, "DAY")
+
+    def test_interval_in_between(self):
+        cond = parse_condition(
+            "a BETWEEN INTERVAL '25' DAY AND INTERVAL '30' DAY")
+        assert cond.low == E.Interval(25.0, "DAY")
+        assert cond.high == E.Interval(30.0, "DAY")
+
+    def test_interval_as_column_name_still_works(self):
+        cond = parse_condition("interval > 3")
+        assert cond.left == E.ColumnRef(None, "interval")
+
+
+class TestQueryClauses:
+    QUERY = """
+    PARTITION BY city, region
+    ORDER BY tstamp
+    PATTERN (A B)
+    SUBSET U = (A, B)
+    DEFINE A AS val < 3, SEGMENT B AS true
+    """
+
+    def test_full_parse(self):
+        parsed = parse(self.QUERY)
+        assert parsed.partition_by == ["city", "region"]
+        assert parsed.order_by == "tstamp"
+        assert parsed.subsets == {"U": ("A", "B")}
+        assert [(d.name, d.is_segment) for d in parsed.defines] == [
+            ("A", False), ("B", True)]
+
+    def test_pattern_with_trailing_and(self):
+        parsed = parse("ORDER BY t\nPATTERN (A B) & W\nDEFINE SEGMENT W AS true")
+        assert isinstance(parsed.pattern, P.And)
+
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("ORDER BY t\nDEFINE A AS true")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("FROB x")
+
+    def test_trailing_comma_tolerated(self):
+        parsed = parse("ORDER BY t\nPATTERN (A)\nDEFINE A AS val > 1,")
+        assert len(parsed.defines) == 1
+
+    def test_seg_keyword_alias(self):
+        parsed = parse("ORDER BY t\nPATTERN (B)\nDEFINE SEG B AS true")
+        assert parsed.defines[0].is_segment

@@ -1,0 +1,271 @@
+"""Planner tests: rule strategies, cost-based DP, cost-model components."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TRexEngine
+from repro.errors import PlanError
+from repro.exec.and_or import RightProbeAnd, SortMergeAnd
+from repro.exec.concat import SortMergeConcat
+from repro.exec.filter_op import FilterOp
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.exec.seggen import SegGenFilter, SegGenIndexing, SegGenWindow
+from repro.lang.query import compile_query
+from repro.optimizer import costmodel as CM
+from repro.optimizer.cost_params import (CostParams, DEFAULT_COST_PARAMS,
+                                         expected_distinct, shape_value)
+from repro.optimizer.planner import CostBasedPlanner
+from repro.optimizer.rulebased import (BASELINE_STRATEGIES,
+                                       BASELINE_STRATEGIES_WITH_NOT,
+                                       RuleBasedPlanner, RuleStrategy)
+from repro.plan.logical import build_logical_plan
+
+from tests.conftest import make_series
+
+
+def walk_ops(op):
+    yield op
+    for child in op.children():
+        yield from walk_ops(child)
+
+
+def names_of(plan):
+    return [type(node).__name__ for node in walk_ops(plan)]
+
+
+SIMPLE = """
+ORDER BY tstamp
+PATTERN ((DN & W) (UP & W)) & WINDOW
+DEFINE SEGMENT W AS window(2, null),
+  SEGMENT DN AS linear_reg_r2_signed(DN.tstamp, DN.val) <= -0.8,
+  SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.8,
+  SEGMENT WINDOW AS window(1, 12)
+"""
+
+NOT_QUERY = """
+ORDER BY tstamp
+PATTERN RISE & WINDOW & ~(FALL W)
+DEFINE SEGMENT W AS true,
+  SEGMENT RISE AS last(RISE.val) / first(RISE.val) > 1.02,
+  SEGMENT WINDOW AS window(1, 8),
+  SEGMENT FALL AS last(FALL.val) / first(FALL.val) < 0.99
+"""
+
+REFS_QUERY = """
+ORDER BY tstamp
+PATTERN (UP GAP X) & WINDOW
+DEFINE SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.7,
+  SEGMENT GAP AS true,
+  SEGMENT X AS corr(X.val, UP.val) >= 0.9 AND window(2, 4),
+  SEGMENT WINDOW AS window(4, 12)
+"""
+
+
+class TestRuleStrategies:
+    def test_labels(self):
+        labels = [s.label for s in BASELINE_STRATEGIES]
+        assert labels == ["pr_left", "pr_right", "sm_left", "sm_right"]
+        assert BASELINE_STRATEGIES_WITH_NOT[-1].label == "sm_right_pnot"
+
+    def test_probe_left_uses_right_probe(self):
+        query = compile_query(SIMPLE)
+        plan = RuleBasedPlanner(RuleStrategy("left", "probe")).plan(query)
+        assert "RightProbeConcat" in names_of(plan)
+
+    def test_probe_right_uses_left_probe(self):
+        query = compile_query(SIMPLE)
+        plan = RuleBasedPlanner(RuleStrategy("right", "probe")).plan(query)
+        assert "LeftProbeConcat" in names_of(plan)
+
+    def test_sm_uses_sort_merge(self):
+        query = compile_query(SIMPLE)
+        plan = RuleBasedPlanner(RuleStrategy("left", "sm")).plan(query)
+        ops = names_of(plan)
+        assert "SortMergeConcat" in ops
+        assert not any("Probe" in name for name in ops)
+
+    def test_indexing_preferred(self):
+        query = compile_query(SIMPLE)
+        plan = RuleBasedPlanner(RuleStrategy("left", "sm"),
+                                sharing="on").plan(query)
+        assert "SegGenIndexing" in names_of(plan)
+
+    def test_sharing_off_uses_filter(self):
+        query = compile_query(SIMPLE)
+        plan = RuleBasedPlanner(RuleStrategy("left", "sm"),
+                                sharing="off").plan(query)
+        ops = names_of(plan)
+        assert "SegGenFilter" in ops and "SegGenIndexing" not in ops
+
+    def test_not_variants(self):
+        query = compile_query(NOT_QUERY)
+        mat = RuleBasedPlanner(RuleStrategy("left", "probe",
+                                            "materialize")).plan(query)
+        assert "MaterializeNot" in names_of(mat)
+        probe = RuleBasedPlanner(RuleStrategy("left", "probe",
+                                              "probe")).plan(query)
+        assert "ProbeNot" in names_of(probe)
+
+    def test_sm_with_refs_lifts_filter(self):
+        query = compile_query(REFS_QUERY)
+        plan = RuleBasedPlanner(RuleStrategy("left", "sm")).plan(query)
+        ops = names_of(plan)
+        assert "FilterOp" in ops
+        assert "SegGenWindow" in ops  # the X leaf became unfiltered
+
+    def test_probe_with_refs_avoids_lift(self):
+        query = compile_query(REFS_QUERY)
+        plan = RuleBasedPlanner(RuleStrategy("left", "probe")).plan(query)
+        # With left-deep probes, UP is bound before X: no Filter needed.
+        assert "FilterOp" not in names_of(plan)
+
+
+class TestCostParams:
+    def test_shape_value(self):
+        assert shape_value("C", 100) == 1.0
+        assert shape_value("L", 7) == 7.0
+        assert shape_value("Q", 3) == 9.0
+        assert shape_value(None, 5) == 1.0
+
+    def test_shape_invalid(self):
+        with pytest.raises(ValueError):
+            shape_value("X", 1)
+
+    def test_f_op_linear(self):
+        params = CostParams()
+        assert params.f_op("SortMergeConcat", 10) == \
+            pytest.approx(10 * 671.0)
+
+    def test_f_ind_inf_for_non_indexable(self):
+        from repro.aggregates.registry import DEFAULT_REGISTRY
+        corr = DEFAULT_REGISTRY.get("corr")
+        assert math.isinf(DEFAULT_COST_PARAMS.f_ind(corr, 100))
+
+    def test_expected_distinct_bounds(self):
+        assert expected_distinct(0, 100) == 0.0
+        assert expected_distinct(100, 0) == 0.0
+        value = expected_distinct(50, 100)
+        assert 0 < value <= 50
+        # More draws, more (or equal) distinct values.
+        assert expected_distinct(200, 100) >= value
+
+    def test_expected_distinct_saturates(self):
+        assert expected_distinct(1e6, 100) == pytest.approx(100, rel=1e-3)
+
+
+class TestCostModelComponents:
+    def test_lse_estimate_cases(self):
+        assert CM.lse_estimate(1, 1, 300) == pytest.approx(100.0)
+        assert CM.lse_estimate(1, 50, 300) == 50
+        assert CM.lse_estimate(80, 50, 300) == 80
+
+    def test_boxed_pair_fraction_wild(self):
+        # Wild window over the full n x n box ~ upper triangle fraction.
+        fraction = CM.boxed_pair_fraction(100, 100, 100, (0, math.inf))
+        assert fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_boxed_pair_fraction_fixed_duration(self):
+        fraction = CM.boxed_pair_fraction(100, 100, 100, (5, 5))
+        assert fraction == pytest.approx(95 / (100 * 100), rel=0.1)
+
+    def test_boxed_pair_fraction_empty(self):
+        assert CM.boxed_pair_fraction(10, 10, 10, (50, 60)) == 0.0
+
+    def test_concat_window_selectivity_wild(self):
+        assert CM.concat_window_selectivity((0, math.inf), (0, 5), (0, 5),
+                                            0, 100) == 1.0
+
+    def test_concat_window_selectivity_tight(self):
+        # children sum to 2..10; window 0..4 admits roughly the low end.
+        sel = CM.concat_window_selectivity((0, 4), (1, 5), (1, 5), 0, 100)
+        assert 0 < sel < 1
+
+    def test_containment_selectivity(self):
+        assert CM.containment_selectivity((0, 10), (2, 6), 100) == 1.0
+        assert CM.containment_selectivity((0, 3), (2, 6), 100) == \
+            pytest.approx(0.25)
+        assert CM.containment_selectivity((8, 9), (2, 6), 100) == 0.0
+
+    def test_node_duration_bounds_concat(self):
+        query = compile_query(SIMPLE)
+        series = make_series(np.arange(30.0))
+        plan = build_logical_plan(query)
+        lo, hi = CM.node_duration_bounds(plan, series)
+        assert lo >= 4   # two legs of >= 2 each
+        assert hi <= 12  # overall window
+
+
+class TestCostBasedPlanner:
+    def make_series_list(self, seed=0, n=40):
+        rng = np.random.default_rng(seed)
+        return [make_series(np.cumsum(rng.normal(0, 1, n)) + 50)]
+
+    def test_produces_valid_plan(self):
+        query = compile_query(SIMPLE)
+        planner = CostBasedPlanner()
+        plan = planner.plan(query, None, self.make_series_list())
+        assert plan.requires == frozenset()
+        assert planner.last_estimated_cost > 0
+
+    def test_batch_mode_has_no_probes(self):
+        query = compile_query(SIMPLE)
+        planner = CostBasedPlanner(allow_probes=False)
+        plan = planner.plan(query, None, self.make_series_list())
+        assert not any("Probe" in name for name in names_of(plan))
+
+    def test_sharing_off_no_indexing(self):
+        query = compile_query(SIMPLE)
+        planner = CostBasedPlanner(sharing="off")
+        plan = planner.plan(query, None, self.make_series_list())
+        assert "SegGenIndexing" not in names_of(plan)
+
+    def test_estimate_reproducible(self):
+        query = compile_query(SIMPLE)
+        series = self.make_series_list()
+        a = CostBasedPlanner().optimize(query, build_logical_plan(query),
+                                        series).cost
+        b = CostBasedPlanner().optimize(query, build_logical_plan(query),
+                                        series).cost
+        assert a == pytest.approx(b)
+
+    def test_wconcat_considered_for_pads(self):
+        text = """
+        ORDER BY tstamp
+        PATTERN (A W B) & WINDOW
+        DEFINE A AS val < 40, B AS val > 60, SEGMENT W AS true,
+          SEGMENT WINDOW AS window(0, 10)
+        """
+        query = compile_query(text)
+        rng = np.random.default_rng(1)
+        series = [make_series(rng.uniform(0, 100, 200))]
+        plan = CostBasedPlanner().plan(query, None, series)
+        # The planner should fuse the wild pad (or at least produce some
+        # valid plan); assert the fused operator is selected here since the
+        # pad join is clearly cheapest.
+        assert "WildWindowConcat" in names_of(plan)
+
+    def test_empty_series_list_rejected(self):
+        query = compile_query(SIMPLE)
+        with pytest.raises(PlanError):
+            CostBasedPlanner().plan(query, None, [])
+
+    def test_not_choice_depends_on_space(self):
+        query = compile_query(NOT_QUERY)
+        plan = CostBasedPlanner().plan(query, None,
+                                       self.make_series_list(n=60))
+        ops = names_of(plan)
+        assert ("MaterializeNot" in ops) or ("ProbeNot" in ops)
+
+
+class TestEngineSelection:
+    def test_unknown_label_rejected(self):
+        query = compile_query(SIMPLE)
+        engine = TRexEngine(optimizer="bogus")
+        with pytest.raises(PlanError):
+            engine.execute_query(query, [make_series([1, 2, 3])])
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(PlanError):
+            TRexEngine(sharing="sometimes")

@@ -1,0 +1,178 @@
+"""Appendix B rewriter tests: each rule plus the Example 3 walkthrough."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import BruteForceMatcher
+from repro.core.engine import TRexEngine
+from repro.lang import pattern as P
+from repro.lang.query import compile_query
+from repro.lang.rewriter import (rewrite_query, rule1_point_to_segment,
+                                 rule2_subset_to_segment,
+                                 rule3_reassign_conditions, rule4_decompose,
+                                 rule5_remove_irrelevant,
+                                 rule_window_recognition)
+
+from tests.conftest import make_series
+
+FIGURE2 = """
+ORDER BY tstamp
+PATTERN (A* D+ B* Z)
+SUBSET U = (A, D, B)
+DEFINE D AS tstamp - first(D.tstamp) <= 5,
+  Z AS last(U.tstamp) - first(U.tstamp) BETWEEN 25 AND 30
+    AND mann_kendall_test(U.temp) >= 2.0
+    AND linear_regression_r2(D.tstamp, D.temp) >= 0.9
+    AND last(D.temp) - first(D.temp) < -12
+"""
+
+
+def figure2_query():
+    return compile_query(FIGURE2)
+
+
+class TestRule1:
+    def test_trivial_star_becomes_segment(self):
+        query = compile_query("ORDER BY t\nPATTERN (x* B)\nDEFINE B AS v > 1")
+        assert rule1_point_to_segment(query)
+        assert query.var("x").is_segment
+        assert not any(isinstance(n, P.Kleene)
+                       for n in P.walk(query.pattern))
+
+    def test_time_delta_plus_becomes_windowed_segment(self):
+        query = compile_query(
+            "ORDER BY t\nPATTERN (x+ B)\n"
+            "DEFINE x AS t - first(x.t) <= 5, B AS v > 1")
+        assert rule1_point_to_segment(query)
+        var = query.var("x")
+        assert var.is_segment
+        assert var.windows and var.windows[0].hi == 5.0
+
+    def test_conditioned_star_not_rewritten(self):
+        query = compile_query("ORDER BY t\nPATTERN (x* B)\n"
+                              "DEFINE x AS v > 0, B AS v > 1")
+        assert not rule1_point_to_segment(query)
+
+
+class TestRule2:
+    def test_subset_becomes_and(self):
+        query = figure2_query()
+        assert rule2_subset_to_segment(query)
+        assert not query.subsets
+        # References to U are renamed to the fresh segment variable.
+        z_refs = query.var("Z").external_refs
+        assert "U" not in z_refs
+        assert any(name.startswith("UU") for name in z_refs)
+
+    def test_no_subset_noop(self):
+        query = compile_query("ORDER BY t\nPATTERN (A)\nDEFINE A AS v > 1")
+        assert not rule2_subset_to_segment(query)
+
+
+class TestRule3:
+    def test_clauses_move_to_owner(self):
+        query = figure2_query()
+        rule2_subset_to_segment(query)
+        rule1_point_to_segment(query)
+        assert rule3_reassign_conditions(query)
+        assert query.var("D").condition is not None
+        # Z keeps nothing but (possibly) conditions on itself.
+        z = query.var("Z")
+        assert not z.external_refs
+
+
+class TestWindowRecognition:
+    def test_between_duration_becomes_window(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS last(S.tstamp) - first(S.tstamp) "
+            "BETWEEN 3 AND 8 AND last(S.v) > 0")
+        assert rule_window_recognition(query)
+        var = query.var("S")
+        assert var.windows and (var.windows[0].lo,
+                                var.windows[0].hi) == (3.0, 8.0)
+        assert var.condition is not None  # the value clause remains
+
+    def test_non_order_column_untouched(self):
+        query = compile_query(
+            "ORDER BY tstamp\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS last(S.v) - first(S.v) BETWEEN 3 AND 8")
+        assert not rule_window_recognition(query)
+
+
+class TestRule4:
+    def test_conjunction_decomposed(self):
+        query = compile_query(
+            "ORDER BY t\nPATTERN (S)\n"
+            "DEFINE SEGMENT S AS last(S.v) > 1 AND first(S.v) < 9")
+        assert rule4_decompose(query)
+        assert "S" not in query.variables
+        assert isinstance(query.pattern, P.And)
+        assert len(query.pattern.parts) == 2
+
+    def test_single_clause_untouched(self):
+        query = compile_query("ORDER BY t\nPATTERN (S)\n"
+                              "DEFINE SEGMENT S AS last(S.v) > 1")
+        assert not rule4_decompose(query)
+
+
+class TestRule5:
+    def test_wild_and_member_removed(self):
+        query = compile_query(
+            "ORDER BY t\nPATTERN (A & Z)\n"
+            "DEFINE SEGMENT A AS last(A.v) > 1, SEGMENT Z AS true")
+        assert rule5_remove_irrelevant(query)
+        assert "Z" not in query.variables
+
+    def test_trailing_point_removed(self):
+        query = compile_query("ORDER BY t\nPATTERN (A Z)\n"
+                              "DEFINE SEGMENT A AS last(A.v) > 1")
+        assert rule5_remove_irrelevant(query)
+        assert query.pattern == P.VarRef("A")
+
+    def test_trailing_wild_segment_kept(self):
+        query = compile_query(
+            "ORDER BY t\nPATTERN (A Z)\n"
+            "DEFINE SEGMENT A AS last(A.v) > 1, SEGMENT Z AS true")
+        assert not rule5_remove_irrelevant(query)
+
+    def test_referenced_wild_kept(self):
+        query = compile_query(
+            "ORDER BY t\nPATTERN (A & Z)\n"
+            "DEFINE SEGMENT A AS corr(A.v, Z.v) > 0.5, SEGMENT Z AS true")
+        assert not rule5_remove_irrelevant(query)
+
+
+class TestEndToEnd:
+    def test_figure2_reaches_figure18_shape(self):
+        query = rewrite_query(figure2_query())
+        text = query.pattern.describe()
+        # Expect ((A (D1 & D2) B) & UU) — padded decomposed drop plus an
+        # overall windowed trend variable.
+        assert isinstance(query.pattern, P.And)
+        assert "D1" in text and "D2" in text
+        uu = next(name for name in query.variables if name.startswith("UU"))
+        var = query.var(uu)
+        assert var.windows  # BETWEEN became window(25, 30)
+        assert (var.windows[0].lo, var.windows[0].hi) == (25.0, 30.0)
+
+    def test_rewritten_query_equivalent_on_data(self):
+        rng = np.random.default_rng(2)
+        n = 45
+        temps = 3 + 0.5 * np.arange(n) + rng.normal(0, 0.8, n)
+        temps[30:34] -= np.asarray([4.0, 9.0, 13.0, 16.0])
+        series = make_series(temps, extra={"temp": temps})
+        rewritten = rewrite_query(figure2_query())
+        expected = sorted(BruteForceMatcher(rewritten).match_series(series))
+        engine = TRexEngine(optimizer="cost")
+        got = engine.execute_query(rewritten,
+                                   [series]).per_series[0].matches
+        assert got == expected
+
+    def test_fixpoint_terminates(self):
+        query = figure2_query()
+        rewritten = rewrite_query(query, max_rounds=3)
+        again = rewrite_query(copy.deepcopy(rewritten), max_rounds=3)
+        assert rewritten.pattern.describe() == again.pattern.describe()

@@ -1,0 +1,76 @@
+"""Differential testing of the 11 evaluation templates themselves.
+
+Each template (parameters from its grid) runs on a tiny slice of its
+synthetic dataset through the T-ReX engine, AFA and (where tractable) the
+brute-force reference; all must agree.  This closes the loop between the
+paper's actual evaluation queries and the semantics tests.
+"""
+
+import pytest
+
+from repro.baselines import make_executor
+from repro.core.bruteforce import BruteForceMatcher
+from repro.datasets import load
+from repro.queries import get_template
+
+#: Template -> (dataset kwargs, series to take, brute-force feasible).
+CONFIG = {
+    "v_shape": (dict(num_series=2, length=26), 1, True),
+    "outlier": (dict(num_series=2, length=26), 1, True),
+    "rebound": (dict(num_series=3, length=30), 2, True),
+    "cld_wave": (dict(num_series=1, length=45), 1, False),
+    "limit_sell": (dict(num_series=2, length=24), 1, True),
+    "head_shldr": (dict(num_series=1, length=22), 1, False),
+    "rptd_pttrn": (dict(num_series=1, length=60), 1, False),
+    "OpenCEP_Q1": (dict(num_series=1, length=40), 1, False),
+    "OpenCEP_Q2": (dict(num_series=1, length=40), 1, True),
+    "AFA_Q1": (dict(num_series=1, length=22), 1, False),
+    "AFA_Q2": (dict(num_series=1, length=22), 1, True),
+}
+
+
+def series_for(name):
+    template = get_template(name)
+    kwargs, take, _ = CONFIG[name]
+    table = load(template.dataset, **kwargs)
+    query = template.compile(template.param_sets()[0])
+    return template, table.partition(query.partition_by,
+                                     query.order_by)[:take]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIG))
+def test_template_trex_agrees_with_afa(name):
+    template, series_list = series_for(name)
+    params = template.param_sets()[len(template.param_sets()) // 2]
+    query = template.compile(params)
+    trex = make_executor("trex", query)
+    afa = make_executor("afa", query)
+    for series in series_list:
+        assert trex.match_series(series) == afa.match_series(series), name
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, (_, _, brute) in sorted(CONFIG.items()) if brute])
+def test_template_trex_agrees_with_bruteforce(name):
+    template, series_list = series_for(name)
+    params = template.param_sets()[0]
+    query = template.compile(params)
+    matcher = BruteForceMatcher(query)
+    trex = make_executor("trex", query)
+    for series in series_list:
+        expected = sorted(matcher.match_series(series))
+        assert trex.match_series(series) == expected, name
+
+
+@pytest.mark.parametrize("name", ["v_shape", "cld_wave", "limit_sell",
+                                  "OpenCEP_Q2"])
+def test_template_naive_trees_agree(name):
+    template, series_list = series_for(name)
+    params = template.param_sets()[0]
+    query = template.compile(params)
+    reference = make_executor("trex", query)
+    for label in ("zstream", "opencep", "trex-batch", "nested-afa"):
+        executor = make_executor(label, query)
+        for series in series_list:
+            assert executor.match_series(series) == \
+                reference.match_series(series), (name, label)

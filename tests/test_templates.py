@@ -1,0 +1,93 @@
+"""Query template tests: compilation, grids, executability, results."""
+
+import pytest
+
+from repro.core.engine import TRexEngine
+from repro.datasets import load
+from repro.errors import DataError
+from repro.queries import (ALL_TEMPLATES, TEMPLATES, get_template,
+                           iter_instances)
+
+SMALL = {
+    "sp500": dict(num_series=6, length=100),
+    "covid19": dict(num_series=6, length=64),
+    "weather": dict(num_series=2, length=260),
+    "taxi": dict(num_series=1, length=480),
+    "nasdaq": dict(num_series=1, length=1500),
+}
+
+_tables = {}
+
+
+def table_for(template):
+    if template.dataset not in _tables:
+        _tables[template.dataset] = load(template.dataset,
+                                         **SMALL[template.dataset])
+    return _tables[template.dataset]
+
+
+class TestCatalog:
+    def test_eleven_templates(self):
+        assert len(TEMPLATES) == 11
+        assert {t.name for t in TEMPLATES} == {
+            "v_shape", "head_shldr", "outlier", "rebound", "cld_wave",
+            "rptd_pttrn", "limit_sell", "OpenCEP_Q1", "OpenCEP_Q2",
+            "AFA_Q1", "AFA_Q2"}
+
+    def test_get_template(self):
+        assert get_template("cld_wave").dataset == "weather"
+        with pytest.raises(DataError):
+            get_template("bogus")
+
+    def test_parameter_grid_sizes(self):
+        # Paper: at least 9 parameter sets except the OpenCEP queries (5).
+        for template in TEMPLATES:
+            expected = 5 if template.name.startswith("OpenCEP") else 9
+            assert len(template.param_sets()) >= expected, template.name
+
+    def test_limit_sell_flagged_not(self):
+        assert get_template("limit_sell").has_not
+        assert not get_template("v_shape").has_not
+
+    def test_nested_kleene_flags(self):
+        assert get_template("AFA_Q1").has_nested_kleene
+        assert get_template("AFA_Q2").has_nested_kleene
+
+    @pytest.mark.parametrize("template", ALL_TEMPLATES,
+                             ids=lambda t: t.name)
+    def test_all_instances_compile(self, template):
+        count = 0
+        for params, query in iter_instances(template):
+            assert query.pattern is not None
+            count += 1
+        assert count == len(template.param_sets())
+
+
+@pytest.mark.parametrize("template", ALL_TEMPLATES, ids=lambda t: t.name)
+def test_first_instance_executes(template):
+    params = template.param_sets()[0]
+    query = template.compile(params)
+    table = table_for(template)
+    engine = TRexEngine(optimizer="cost", sharing="auto")
+    result = engine.execute_query(
+        query, table.partition(query.partition_by, query.order_by))
+    assert result.total_matches >= 0
+    assert result.plan_explain
+
+
+@pytest.mark.parametrize("name", ["v_shape", "cld_wave", "rebound",
+                                  "rptd_pttrn", "OpenCEP_Q2", "AFA_Q2"])
+def test_templates_find_matches_on_synthetic_data(name):
+    """The synthetic datasets must actually contain the target patterns."""
+    template = get_template(name)
+    table = table_for(template)
+    total = 0
+    # Spread probes across the grid: the strictest corner of a sweep may
+    # legitimately be empty (as in the paper's selectivity sweeps).
+    for params in template.param_sets()[::3][:3]:
+        query = template.compile(params)
+        engine = TRexEngine(optimizer="cost", sharing="auto")
+        result = engine.execute_query(
+            query, table.partition(query.partition_by, query.order_by))
+        total += result.total_matches
+    assert total > 0, f"{name} found nothing on its synthetic dataset"

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Focused single-core experiment sweep used to fill EXPERIMENTS.md.
+
+A trimmed version of run_experiments.py sized for a single-core budget:
+smaller datasets for the heaviest queries, tight deadlines, and a curated
+template subset per experiment.  Prints the same table formats.
+"""
+
+import time
+
+from repro.bench.runner import (format_table, median_slowdowns,
+                                median_speedups, run_executor_comparison,
+                                run_ndcg, run_optimizer_comparison,
+                                run_sharing_ablation)
+from repro.datasets import load
+from repro.queries import get_template
+
+SIZES = {
+    "sp500": dict(num_series=20, length=252),
+    "covid19": dict(num_series=20, length=64),
+    "weather": dict(num_series=3, length=500),
+    "taxi": dict(num_series=1, length=960),
+    "nasdaq": dict(num_series=1, length=3000),
+}
+_tables = {}
+
+
+def table_for(name):
+    if name not in _tables:
+        _tables[name] = load(name, **SIZES[name])
+    return _tables[name]
+
+
+def params_of(template, count=2):
+    sets = template.param_sets()
+    return sets[:: max(len(sets) // count, 1)][:count]
+
+
+def section(title):
+    print(f"\n== {title} ==", flush=True)
+
+
+def main():
+    t_start = time.perf_counter()
+
+    section("Table 4 (remaining queries)")
+    for name in ("OpenCEP_Q1", "OpenCEP_Q2", "AFA_Q1", "AFA_Q2"):
+        template = get_template(name)
+        comparisons = run_optimizer_comparison(
+            template, table_for(template.dataset),
+            param_sets=params_of(template, 2), timeout_seconds=60.0)
+        medians = median_slowdowns(comparisons)
+        cells = {k: ("t.o." if v == float("inf") else f"{v:.2f}")
+                 for k, v in sorted(medians.items())}
+        print(f"  {name}: " + "  ".join(f"{k}={v}"
+                                        for k, v in cells.items()),
+              flush=True)
+
+    section("Table 7 (NDCG, representative queries)")
+    for name in ("v_shape", "rebound", "cld_wave", "limit_sell",
+                 "OpenCEP_Q2"):
+        template = get_template(name)
+        score, collection, _ = run_ndcg(
+            template, table_for(template.dataset),
+            param_sets=params_of(template, 2), timeout_seconds=60.0)
+        print(f"  {name}: NDCG={score:.2f} stats="
+              f"{collection * 1000:.2f}ms", flush=True)
+
+    section("Figure 12 / 22a (executor line-up)")
+    labels = ["trex", "trex-batch", "afa", "nested-afa", "zstream",
+              "opencep"]
+    rows = []
+    for name in ("v_shape", "rebound", "cld_wave", "limit_sell",
+                 "rptd_pttrn", "OpenCEP_Q2", "AFA_Q1"):
+        template = get_template(name)
+        use = [l for l in labels
+               if not (template.has_nested_kleene
+                       and l in ("zstream", "opencep"))]
+        results = run_executor_comparison(
+            template, table_for(template.dataset), use,
+            param_sets=params_of(template, 2), time_budget=60.0)
+        speedups = median_speedups(results, reference="trex")
+        print(f"  {name}: " + "  ".join(
+            f"{label}={speedups[label]:.1f}x" if label in speedups else
+            f"{label}=t.o." for label in use if label != "trex"),
+            flush=True)
+        rows.append((name, results))
+
+    section("Figure 22b (sharing ablation)")
+    for name in ("v_shape", "cld_wave"):
+        template = get_template(name)
+        speedups = run_sharing_ablation(
+            template, table_for(template.dataset),
+            ["trex", "afa"], param_sets=params_of(template, 1))
+        print(f"  {name}: " + "  ".join(
+            f"{k}={v:.2f}x" for k, v in sorted(speedups.items())),
+            flush=True)
+
+    section("Table 5/6 (local profiling)")
+    from repro.optimizer.profiler import profile_aggregates, profile_operators
+    weights = profile_operators(sizes=(150, 300))
+    print(format_table(["operator", "w (ns)"],
+                       [(k, f"{v:.0f}") for k, v in sorted(weights.items())]))
+    aggs = profile_aggregates(
+        names=["linear_regression_r2", "mann_kendall_test", "sum"],
+        sizes=(150, 300))
+    print(format_table(["aggregate", "w_ind", "w_lookup", "w_direct"],
+                       [(k, f"{v[0]:.0f}", f"{v[1]:.0f}", f"{v[2]:.0f}")
+                        for k, v in sorted(aggs.items())]))
+
+    print(f"\n[TOTAL {time.perf_counter() - t_start:.0f}s]", flush=True)
+
+
+if __name__ == "__main__":
+    main()

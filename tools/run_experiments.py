@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Full experiment harness: regenerates every table and figure's data.
+
+Usage::
+
+    python tools/run_experiments.py all              # everything, CI scale
+    python tools/run_experiments.py table4 fig12     # selected experiments
+    python tools/run_experiments.py fig12 --scale medium
+    python tools/run_experiments.py table2 --scale paper
+
+Scales: ``ci`` (default, minutes), ``medium`` (tens of minutes), ``paper``
+(the full dataset sizes/grids — hours in pure Python).  Results print as
+plain-text tables; paste the relevant numbers into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.bench.runner import (format_table, median_slowdowns,
+                                median_speedups, run_executor_comparison,
+                                run_ndcg, run_optimizer_comparison,
+                                run_query_all_series, run_sharing_ablation)
+from repro.datasets import dataset_statistics, load
+from repro.queries import ALL_TEMPLATES, TEMPLATES, get_template
+
+SCALES = {
+    "ci": {
+        "sp500": dict(num_series=20, length=252),
+        "covid19": dict(num_series=20, length=64),
+        "weather": dict(num_series=3, length=500),
+        "taxi": dict(num_series=1, length=960),
+        "nasdaq": dict(num_series=1, length=4000),
+        "param_stride": 4, "param_limit": 3,
+    },
+    "medium": {
+        "sp500": dict(num_series=100, length=252),
+        "covid19": dict(num_series=120, length=64),
+        "weather": dict(num_series=8, length=1000),
+        "taxi": dict(num_series=1, length=3440),
+        "nasdaq": dict(num_series=1, length=20000),
+        "param_stride": 2, "param_limit": 5,
+    },
+    "paper": {
+        "sp500": dict(scale="full"),
+        "covid19": dict(scale="full"),
+        "weather": dict(scale="full"),
+        "taxi": dict(scale="full"),
+        "nasdaq": dict(scale="full"),
+        "param_stride": 1, "param_limit": None,
+    },
+}
+
+_tables = {}
+
+
+def table_for(dataset: str, scale: dict):
+    if dataset not in _tables:
+        _tables[dataset] = load(dataset, **scale[dataset])
+    return _tables[dataset]
+
+
+def param_sets_for(template, scale: dict):
+    sets = template.param_sets()[::scale["param_stride"]]
+    if scale["param_limit"] is not None:
+        sets = sets[:scale["param_limit"]]
+    return sets
+
+
+def experiment_table2(scale):
+    print("\n== Table 2: dataset statistics ==")
+    stats = dataset_statistics(
+        scale="full" if scale is SCALES["paper"] else "default")
+    rows = [(name, int(entry["num_series"]), f"{entry['series_length']:.0f}")
+            for name, entry in sorted(stats.items())]
+    print(format_table(["dataset", "# of series", "series length"], rows))
+
+
+def _micro_bench_rows(scale):
+    """Figures 8-10 micro benchmarks; returns printable rows."""
+    import numpy as np
+
+    from repro.exec.base import ExecContext
+    from repro.exec.concat import RightProbeConcat, SortMergeConcat
+    from repro.exec.not_op import MaterializeNot, ProbeNot
+    from repro.exec.seggen import SegGenFilter, SegGenIndexing
+    from repro.lang.parser import parse_condition
+    from repro.lang.query import VarDef
+    from repro.lang.windows import WindowConjunction, WindowSpec
+    from repro.plan.search_space import SearchSpace
+
+    series = table_for("sp500", scale).partition(["ticker"], "tstamp")[0]
+    n = len(series)
+
+    def timed(op, sp):
+        ctx = ExecContext(series)
+        t0 = time.perf_counter()
+        count = sum(1 for _ in op.eval(ctx, sp, {}))
+        return time.perf_counter() - t0, count
+
+    rows = []
+    # Figure 8a: window sweep.
+    for window_size in (5, 10, 20, 40, 80):
+        cond = parse_condition(
+            "linear_reg_r2_signed(DN.tstamp, DN.price) <= -0.7")
+        var = VarDef("DN", True, (WindowSpec.point(0, window_size),), cond,
+                     frozenset())
+        filt = SegGenFilter(var, var.window_conjunction)
+        indexed = SegGenIndexing(var, var.window_conjunction)
+        tf, _ = timed(filt, SearchSpace.full(n))
+        ti, _ = timed(indexed, SearchSpace.full(n))
+        rows.append(("fig8a", f"l={window_size}", f"filter={tf:.4f}s",
+                     f"indexing={ti:.4f}s"))
+    # Figure 9a: threshold sweep.
+    window = WindowConjunction([WindowSpec.point(2, 40)])
+    for alpha in (0.5, 0.7, 0.9, 0.95):
+        def leaf(name, direction, a):
+            op_text = "<= -" if direction == "down" else ">= "
+            cond = parse_condition(
+                f"linear_reg_r2_signed({name}.tstamp, {name}.price) "
+                f"{op_text}{a}")
+            var = VarDef(name, True, (WindowSpec.point(1, 20),), cond,
+                         frozenset())
+            return SegGenIndexing(var, var.window_conjunction)
+
+        probe = RightProbeConcat(leaf("DN", "down", alpha),
+                                 leaf("UP", "up", 0.5), 0, window)
+        merge = SortMergeConcat(leaf("DN", "down", alpha),
+                                leaf("UP", "up", 0.5), 0, window)
+        tp, _ = timed(probe, SearchSpace.full(n))
+        tm, _ = timed(merge, SearchSpace.full(n))
+        rows.append(("fig9a", f"alpha={alpha}", f"probe={tp:.4f}s",
+                     f"sortmerge={tm:.4f}s"))
+    # Figure 10: Not variants under two search spaces.
+    cond = parse_condition("last(D.price) / first(D.price) < 0.95")
+    for window_size in (5, 10, 20):
+        var = VarDef("D", True, (WindowSpec.point(0, window_size),), cond,
+                     frozenset())
+        child = SegGenFilter(var, var.window_conjunction)
+        not_window = WindowConjunction([WindowSpec.point(1, window_size)])
+        for label, sp in (("(1,n)", SearchSpace(0, 0, 0, n - 1)),
+                          ("(n,n)", SearchSpace.full(n))):
+            tp, _ = timed(ProbeNot(child, not_window), sp)
+            tm, _ = timed(MaterializeNot(child, not_window), sp)
+            rows.append((f"fig10 {label}", f"l={window_size}",
+                         f"probenot={tp:.4f}s", f"matnot={tm:.4f}s"))
+    return rows
+
+
+def experiment_fig8(scale):
+    print("\n== Figures 8-10: physical operator micro-benchmarks ==")
+    rows = _micro_bench_rows(scale)
+    print(format_table(["figure", "param", "variant A", "variant B"], rows))
+
+
+experiment_fig9 = experiment_fig8
+experiment_fig10 = experiment_fig8
+
+
+def experiment_table4(scale):
+    print("\n== Table 4: optimizer vs rule-based baselines "
+          "(median slow-down over fastest) ==")
+    headers = None
+    rows = []
+    for template in TEMPLATES:
+        table = table_for(template.dataset, scale)
+        param_sets = param_sets_for(template, scale)
+        try:
+            comparisons = run_optimizer_comparison(
+                template, table, param_sets=param_sets,
+                timeout_seconds=90.0)
+        except Exception as error:  # keep sweeping other queries
+            print(f"  {template.name}: FAILED ({error})", flush=True)
+            continue
+        medians = median_slowdowns(comparisons)
+        if headers is None:
+            headers = ["query"] + sorted(medians)
+        cells = ["t.o." if medians[k] == float("inf") else
+                 f"{medians[k]:.2f}" for k in sorted(medians)]
+        rows.append([template.name] + cells)
+        print(f"  {template.name}: " + "  ".join(
+            f"{k}={c}" for k, c in zip(sorted(medians), cells)), flush=True)
+    if headers:
+        print(format_table(headers, rows))
+
+
+def experiment_table7(scale):
+    print("\n== Table 7: NDCG of cost ranking vs runtime ranking ==")
+    rows = []
+    for template in TEMPLATES:
+        table = table_for(template.dataset, scale)
+        param_sets = param_sets_for(template, scale)[:3]
+        try:
+            score, collection, _ = run_ndcg(template, table,
+                                            param_sets=param_sets,
+                                            timeout_seconds=90.0)
+        except Exception as error:
+            print(f"  {template.name}: FAILED ({error})")
+            continue
+        rows.append((template.name, f"{score:.2f}",
+                     f"{collection * 1000:.2f} ms"))
+    print(format_table(["query", "NDCG", "median stats collection"], rows))
+
+
+def experiment_fig11(scale):
+    """Figures 11 & 23: estimated cost vs execution time scatter data."""
+    print("\n== Figures 11/23: estimated cost vs execution time ==")
+    for name in ("v_shape", "rebound", "OpenCEP_Q1"):
+        template = get_template(name)
+        table = table_for(template.dataset, scale)
+        param_sets = param_sets_for(template, scale)[:2]
+        try:
+            score, _, points = run_ndcg(template, table,
+                                        param_sets=param_sets,
+                                        timeout_seconds=90.0)
+        except Exception as error:
+            print(f"  {name}: FAILED ({error})", flush=True)
+            continue
+        print(f"\n{name} (NDCG {score:.2f}):")
+        for label, cost, seconds in points:
+            print(f"  {label:14s} est={cost:14.4g}  time={seconds:9.4f}s")
+
+
+def experiment_fig12(scale):
+    print("\n== Figure 12 / 22a: executors per query ==")
+    labels = ["trex", "trex-batch", "afa", "nested-afa", "zstream",
+              "opencep"]
+    summary = []
+    for template in TEMPLATES:
+        table = table_for(template.dataset, scale)
+        param_sets = param_sets_for(template, scale)
+        # The original OpenCEP library cannot express nested Kleene
+        # closures (Section 6.3), so those queries have no OpenCEP/ZStream
+        # lines in Figure 12; mirror that here.
+        template_labels = [l for l in labels
+                           if not (template.has_nested_kleene
+                                   and l in ("zstream", "opencep"))]
+        try:
+            results = run_executor_comparison(template, table,
+                                              template_labels,
+                                              param_sets=param_sets,
+                                              time_budget=90.0)
+        except Exception as error:
+            print(f"  {template.name}: FAILED ({error})")
+            continue
+        speedups = median_speedups(results, reference="trex")
+        print(f"\n{template.name}:")
+        for label in template_labels:
+            rows = results[label]
+            times = ", ".join(f"{seconds:.3f}" for _, seconds, _ in rows)
+            print(f"  {label:12s} [{times}] s")
+        summary.append([template.name] + [
+            f"{speedups[label]:.1f}x" if label in speedups else "-"
+            for label in labels if label != "trex"])
+    print("\nFigure 22a (median speedup of T-ReX over each):")
+    print(format_table(["query"] + [l for l in labels if l != "trex"],
+                       summary))
+
+
+def experiment_fig22b(scale):
+    print("\n== Figure 22b: computation-sharing ablation ==")
+    rows = []
+    for name in ("v_shape", "rebound", "cld_wave"):
+        template = get_template(name)
+        table = table_for(template.dataset, scale)
+        param_sets = param_sets_for(template, scale)[:2]
+        speedups = run_sharing_ablation(template, table,
+                                        ["trex", "trex-batch", "afa"],
+                                        param_sets=param_sets)
+        for label, value in sorted(speedups.items()):
+            rows.append((name, label, f"{value:.2f}x"))
+    print(format_table(["query", "executor", "sharing-on speedup"], rows))
+
+
+def experiment_table5(scale):
+    from repro.optimizer.profiler import profile_aggregates, profile_operators
+    print("\n== Table 5: operator cost weights (locally profiled) ==")
+    weights = profile_operators(sizes=(200, 400))
+    print(format_table(["operator", "w (ns)"],
+                       [(k, f"{v:.0f}") for k, v in sorted(weights.items())]))
+    print("\n== Table 6: aggregate cost weights (locally profiled) ==")
+    aggs = profile_aggregates(sizes=(200, 400))
+    print(format_table(
+        ["aggregate", "w_ind", "w_lookup", "w_direct"],
+        [(k, f"{v[0]:.0f}", f"{v[1]:.0f}", f"{v[2]:.0f}")
+         for k, v in sorted(aggs.items())]))
+
+
+experiment_table6 = experiment_table5
+
+EXPERIMENTS = {
+    "table2": experiment_table2,
+    "fig8": experiment_fig8,
+    "fig9": experiment_fig9,
+    "fig10": experiment_fig10,
+    "table4": experiment_table4,
+    "table7": experiment_table7,
+    "fig11": experiment_fig11,
+    "fig12": experiment_fig12,
+    "fig22b": experiment_fig22b,
+    "table5": experiment_table5,
+    "table6": experiment_table6,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="+",
+                        help=f"'all' or any of {sorted(EXPERIMENTS)}")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="ci")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    names = sorted(EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    seen = set()
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}")
+        fn = EXPERIMENTS[name]
+        if fn in seen:
+            continue
+        seen.add(fn)
+        t0 = time.perf_counter()
+        fn(scale)
+        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()
