@@ -10,7 +10,6 @@ choices the paper folds into the system:
   re-evaluate without the SubPattern memo.
 """
 
-import pytest
 
 from repro.core.engine import TRexEngine
 from repro.exec.base import ExecContext
@@ -58,7 +57,8 @@ def test_ablation_window_pushdown(benchmark):
     unpushed_matches, unpushed_stats = run_plan(unpushed_plan, series_list,
                                                 query)
     assert pushed_matches == unpushed_matches
-    print(f"\nAblation push-down: emitted with={pushed_stats.get('segments_emitted', 0)} "
+    print(f"\nAblation push-down: "
+          f"emitted with={pushed_stats.get('segments_emitted', 0)} "
           f"without={unpushed_stats.get('segments_emitted', 0)}")
     # Without push-down the executor must do at least as much work.
     assert unpushed_stats.get("segments_emitted", 0) >= \

@@ -12,7 +12,7 @@ from repro.exec.base import ExecContext
 from repro.exec.seggen import SegGenFilter, SegGenIndexing
 from repro.lang.parser import parse_condition
 from repro.lang.query import VarDef
-from repro.lang.windows import WindowConjunction, WindowSpec
+from repro.lang.windows import WindowSpec
 from repro.plan.search_space import SearchSpace
 
 from conftest import once

@@ -23,7 +23,8 @@ def leaf(name, direction, alpha, max_len=20):
     op = "<=" if direction == "down" else ">="
     sign = "-" if direction == "down" else ""
     condition = parse_condition(
-        f"linear_reg_r2_signed({name}.tstamp, {name}.price) {op} {sign}{alpha}")
+        f"linear_reg_r2_signed({name}.tstamp, {name}.price) "
+        f"{op} {sign}{alpha}")
     var = VarDef(name, True, (WindowSpec.point(1, max_len),), condition,
                  frozenset())
     return SegGenIndexing(var, var.window_conjunction)

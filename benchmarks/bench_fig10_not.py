@@ -78,7 +78,6 @@ def test_fig10_optimizer_picks_by_space(benchmark, tables):
     """The cost model must prefer ProbeNot for tiny spaces and
     MaterializeNot for the full space (the figure's crossover)."""
     from repro.optimizer.cost_params import DEFAULT_COST_PARAMS as P
-    from repro.optimizer.cost_params import expected_distinct
     # Direct check of the two Table 1 formulas at the two regimes.
     once(benchmark, lambda: None)
     child_cost_full, c_in = 1000.0, 400.0

@@ -7,7 +7,6 @@ costs more than the few evaluations the hand-tuned order needs.  T-ReX's
 optimizer dodges that trap by choosing per leaf.
 """
 
-import pytest
 
 from repro.bench.runner import run_query_all_series, run_sharing_ablation
 from repro.queries import get_template

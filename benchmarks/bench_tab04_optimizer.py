@@ -7,7 +7,6 @@ slow-down over the per-instance fastest plan.  The paper's headline: the
 optimizer's median slow-down beats every baseline on every query.
 """
 
-import statistics
 
 import pytest
 

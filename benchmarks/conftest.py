@@ -41,6 +41,21 @@ def tables():
     return get
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _templates_lint_clean():
+    """Every benchmark query template must be lint-clean (once per run)."""
+    from repro.analysis import lint_text
+    from repro.queries import ALL_TEMPLATES
+
+    problems = []
+    for template in ALL_TEMPLATES:
+        params = dict(template.param_sets()[0])
+        for diag in lint_text(template.text, params):
+            problems.append(f"{template.name}: {diag.format()}")
+    assert not problems, "benchmark templates are not lint-clean:\n" + \
+        "\n".join(problems)
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -3,7 +3,8 @@
 Reproduction of "T-ReX: Optimizing Pattern Search on Time Series"
 (SIGMOD 2023).  Public API highlights:
 
-* :class:`repro.core.engine.TRexEngine` / :func:`repro.core.engine.find_matches`
+* :class:`repro.core.engine.TRexEngine` /
+  :func:`repro.core.engine.find_matches`
   — run extended-MATCH_RECOGNIZE pattern queries over tables;
 * :class:`repro.timeseries.Table` / :class:`repro.timeseries.Series`
   — in-memory time-series data model;

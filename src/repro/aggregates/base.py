@@ -86,7 +86,8 @@ class Aggregate(ABC):
 
         ``columns`` are the *full* series arrays, not segment slices.
         """
-        raise AggregateError(f"aggregate {self.name!r} does not support indexing")
+        raise AggregateError(
+            f"aggregate {self.name!r} does not support indexing")
 
     def validate_call(self, n_columns: int, n_extra: int) -> None:
         """Raise :class:`AggregateError` when the call shape is wrong."""
@@ -110,7 +111,8 @@ def as_float_arrays(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
     return out
 
 
-def segment_pair(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+def segment_pair(arrays: Sequence[np.ndarray]) \
+        -> Tuple[np.ndarray, np.ndarray]:
     """Unpack exactly two column arrays (helper for binary aggregates)."""
     if len(arrays) != 2:
         raise AggregateError(f"expected 2 column arguments, got {len(arrays)}")

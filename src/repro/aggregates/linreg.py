@@ -93,7 +93,7 @@ class LinearRegressionR2(Aggregate):
 
 
 class LinearRegressionR2Signed(LinearRegressionR2):
-    """``sign(slope) * R²`` — positive for rising fits, negative for falling."""
+    """``sign(slope) * R²`` — positive for rising, negative for falling."""
 
     name = "linear_regression_r2_signed"
     _signed = True

@@ -74,7 +74,8 @@ class _MannKendallIndex(AggregateIndex):
             row = np.zeros(m, dtype=np.float64)
             total = 0.0
             for offset in range(1, m):
-                total += float(np.sum(np.sign(values[offset] - values[:offset])))
+                total += float(
+                    np.sum(np.sign(values[offset] - values[:offset])))
                 row[offset] = total
             self._rows[start] = row
         return row

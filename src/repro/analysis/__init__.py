@@ -1,0 +1,37 @@
+"""Static analysis for T-ReX queries and physical plans (``trexlint``).
+
+Two passes over a shared diagnostics framework:
+
+* **query lint** (:mod:`repro.analysis.query_lint`) — ``TRX0xx`` errors
+  and ``TRX1xx`` warnings over the parsed/bound query;
+* **plan verify** (:mod:`repro.analysis.plan_verify`) — ``TRX2xx``
+  operator-contract checks over physical plans.
+
+See ``docs/LINTING.md`` for the full diagnostic catalogue.
+"""
+
+from repro.analysis.diagnostics import (CATALOG, Diagnostic, Severity, Span,
+                                        has_errors, sort_diagnostics)
+from repro.analysis.plan_verify import (check_cost_coverage,
+                                        discover_exec_operators,
+                                        operator_cost_key, reference_flow,
+                                        verify_execution_contracts,
+                                        verify_plan)
+from repro.analysis.query_lint import analyze, lint_text
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "analyze",
+    "check_cost_coverage",
+    "discover_exec_operators",
+    "has_errors",
+    "lint_text",
+    "operator_cost_key",
+    "reference_flow",
+    "sort_diagnostics",
+    "verify_execution_contracts",
+    "verify_plan",
+]

@@ -1,0 +1,129 @@
+"""Shared diagnostics framework for the static analyzer.
+
+Every check in :mod:`repro.analysis` reports through :class:`Diagnostic`:
+a stable ``TRX`` code, a :class:`Severity`, a human-readable message, an
+optional source :class:`Span` (1-based line/column from the lexer) and an
+optional fix hint.  Code families:
+
+* ``TRX0xx`` — query-lint errors (the query is wrong or cannot match);
+* ``TRX1xx`` — query-lint warnings (legal but suspicious or slow);
+* ``TRX2xx`` — plan-verify findings (operator-contract violations).
+
+``docs/LINTING.md`` catalogues every code with a bad/good query pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based (line, column) source location with a token length."""
+
+    line: int
+    column: int
+    length: int = 1
+
+    def describe(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+    #: Variable or operator the finding is about (for grouping/filtering).
+    owner: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def format(self, filename: Optional[str] = None) -> str:
+        """Compiler-style one/two-line rendering."""
+        location = ""
+        if self.span is not None:
+            location = f"{self.span.describe()}: "
+        prefix = f"{filename}:" if filename else ""
+        text = f"{prefix}{location}{self.severity}[{self.code}]: " \
+               f"{self.message}"
+        if self.hint:
+            text += f"\n  hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for ``repro lint --format json``)."""
+        data = {"code": self.code, "severity": str(self.severity),
+                "message": self.message}
+        if self.span is not None:
+            data["line"] = self.span.line
+            data["column"] = self.span.column
+        if self.hint:
+            data["hint"] = self.hint
+        if self.owner:
+            data["owner"] = self.owner
+        return data
+
+
+#: Every diagnostic code the analyzer can emit, with a one-line summary.
+CATALOG = {
+    "TRX000": "query text could not be tokenized or parsed",
+    "TRX001": "variable is defined but never appears in the pattern",
+    "TRX002": "variable is defined more than once",
+    "TRX003": "condition references an undefined variable",
+    "TRX004": "point variable declares a window constraint",
+    "TRX005": "window(...) is not a top-level conjunct of its definition",
+    "TRX006": "malformed window(...) arguments",
+    "TRX007": "condition calls an unregistered aggregate",
+    "TRX008": "aggregate called with the wrong number of arguments",
+    "TRX009": "condition uses an unbound :parameter",
+    "TRX010": "a variable's window constraints contradict each other",
+    "TRX011": "window constraints make the pattern unsatisfiable",
+    "TRX012": "condition references a variable inside a Kleene or Not body",
+    "TRX013": "Not operand matches every segment, so nothing can match",
+    "TRX014": "query failed to bind",
+    "TRX101": "unbounded Kleene repetition with no window cap",
+    "TRX102": "window(...) constrains nothing (wild bounds)",
+    "TRX103": "SUBSET is never referenced by any condition",
+    "TRX104": "cyclic references between variables force filter lifting",
+    "TRX105": "aggregate over a single-point variable is constant",
+    "TRX201": "reference-flow violation in the physical plan",
+    "TRX202": "operator publishes a variable its subtree never binds",
+    "TRX203": "operator under-declares its reference requirements",
+    "TRX204": "operator emitted a segment outside its search space",
+    "TRX205": "operator emitted a segment violating its embedded window",
+    "TRX206": "physical operator has no cost-model entry",
+}
+
+
+def _sort_key(diag: Diagnostic) -> Tuple[int, int, int, str]:
+    if diag.span is None:
+        return (1, 0, 0, diag.code)
+    return (0, diag.span.line, diag.span.column, diag.code)
+
+
+def sort_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Source order (spanned findings first), then by code."""
+    return sorted(diags, key=_sort_key)
+
+
+def has_errors(diags: Iterable[Diagnostic]) -> bool:
+    return any(d.is_error for d in diags)

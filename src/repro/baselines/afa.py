@@ -69,7 +69,7 @@ class AFAExecutor:
         self.hand_tuned = hand_tuned
         self.timeout_seconds = timeout_seconds
 
-    # -- public API ------------------------------------------------------------
+    # -- public API ----------------------------------------------------------
 
     def match_series_prepare(self, series: Series) -> None:
         """Initialize per-series state (index prebuild, state-merge memo)."""
@@ -96,7 +96,7 @@ class AFAExecutor:
                 matches.add((start, end))
         return sorted(matches)
 
-    # -- anchored enumeration ---------------------------------------------------
+    # -- anchored enumeration ------------------------------------------------
 
     def _provider(self):
         return (self._ctx.indexed_provider if self.sharing

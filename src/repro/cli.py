@@ -4,6 +4,7 @@ Commands:
 
 * ``query``   — run a pattern query over a CSV file or a built-in dataset;
 * ``explain`` — show the optimizer's physical plan without executing;
+* ``lint``    — static analysis of query files or templates (trexlint);
 * ``datasets`` — list the synthetic datasets and their shapes;
 * ``templates`` — list the paper's query templates;
 * ``profile`` — run the offline cost-parameter profiling (Tables 5 & 6).
@@ -119,6 +120,60 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _lint_one(label, text, params, out):
+    """Lint one query; returns (num_errors, num_warnings)."""
+    from repro.analysis import lint_text
+    diags = lint_text(text, params)
+    out.extend((label, diag) for diag in diags)
+    errors = sum(1 for d in diags if d.is_error)
+    return errors, len(diags) - errors
+
+
+def cmd_lint(args) -> int:
+    params = _parse_params(args.param)
+    findings = []
+    errors = warnings = checked = 0
+
+    def tally(counts):
+        nonlocal errors, warnings, checked
+        errors += counts[0]
+        warnings += counts[1]
+        checked += 1
+
+    for path in args.paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read {path}: {exc}")
+        tally(_lint_one(path, text, params, findings))
+    templates = []
+    if args.template:
+        templates.append(get_template(args.template))
+    if args.all_templates:
+        templates.extend(ALL_TEMPLATES)
+    for template in templates:
+        param_sets = template.param_sets() if not params else [params]
+        for instance in param_sets:
+            label = f"template:{template.name}"
+            tally(_lint_one(label, template.text, dict(instance), findings))
+    if not checked:
+        raise SystemExit(
+            "provide query files, --template or --all-templates")
+
+    if args.format == "json":
+        print(json.dumps([dict(file=label, **diag.to_dict())
+                          for label, diag in findings], indent=2))
+    else:
+        for label, diag in findings:
+            print(diag.format(label))
+        print(f"{checked} quer{'y' if checked == 1 else 'ies'} checked: "
+              f"{errors} error(s), {warnings} warning(s)")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 def cmd_datasets(_args) -> int:
     print(f"{'dataset':10s} {'default':>16s} {'paper (full)':>16s}")
     for name, (default, full) in sorted(DATASET_SHAPES.items()):
@@ -179,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("explain", help="show the plan without executing")
     add_query_options(e)
     e.set_defaults(fn=cmd_explain)
+
+    li = sub.add_parser("lint", help="static analysis of query files")
+    li.add_argument("paths", nargs="*", metavar="FILE",
+                    help="query files to lint")
+    li.add_argument("--template", help="lint a built-in template")
+    li.add_argument("--all-templates", action="store_true",
+                    help="lint every built-in template instance")
+    li.add_argument("--param", action="append", metavar="NAME=VALUE",
+                    help="query parameter (repeatable)")
+    li.add_argument("--format", default="text", choices=["text", "json"])
+    li.add_argument("--strict", action="store_true",
+                    help="exit non-zero on warnings too")
+    li.set_defaults(fn=cmd_lint)
 
     d = sub.add_parser("datasets", help="list synthetic datasets")
     d.set_defaults(fn=cmd_datasets)

@@ -21,11 +21,12 @@ indexes entirely.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.result import QueryResult, SeriesMatches
-from repro.errors import PlanError
+from repro.errors import PlanError, QueryLintError
 from repro.exec.base import ExecContext, PhysicalOperator
 from repro.lang.query import Query, compile_query
 from repro.plan.logical import LogicalNode, build_logical_plan
@@ -34,6 +35,8 @@ from repro.timeseries.series import Series
 from repro.timeseries.table import Table
 
 PlannerSpec = Union[str, "RuleStrategy"]
+
+_logger = logging.getLogger(__name__)
 
 
 def _resolve_rule_strategy(label: str):
@@ -53,7 +56,8 @@ class TRexEngine:
     def __init__(self, optimizer: PlannerSpec = "cost",
                  sharing: str = "auto",
                  timeout_seconds: Optional[float] = None,
-                 max_matches: Optional[int] = None):
+                 max_matches: Optional[int] = None,
+                 lint: bool = False):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
@@ -68,6 +72,22 @@ class TRexEngine:
         self.timeout_seconds = timeout_seconds
         #: Stop after this many matches across all series (early exit).
         self.max_matches = max_matches
+        #: Run the static analyzer before planning: reject queries with
+        #: lint errors (:class:`repro.errors.QueryLintError`), log
+        #: warnings.
+        self.lint = lint
+
+    def _lint_query(self, query: Query) -> None:
+        from repro.analysis import analyze
+        diags = analyze(query)
+        errors = [d for d in diags if d.is_error]
+        if errors:
+            summary = "; ".join(d.format() for d in errors)
+            raise QueryLintError(
+                f"query rejected by static analysis: {summary}",
+                diagnostics=diags)
+        for diag in diags:
+            _logger.warning("query lint: %s", diag.format())
 
     # -- planning -------------------------------------------------------------
 
@@ -100,7 +120,7 @@ class TRexEngine:
         """Build a plan from a single series (convenience for tests)."""
         return self.build_plan(query, logical, [series])
 
-    # -- execution --------------------------------------------------------------
+    # -- execution -----------------------------------------------------------
 
     def execute(self, table: Table, query_text: str,
                 params: Optional[Dict[str, object]] = None) -> QueryResult:
@@ -111,6 +131,8 @@ class TRexEngine:
     def execute_query(self, query: Query,
                       table: Union[Table, List[Series]]) -> QueryResult:
         """Plan and execute a bound query."""
+        if self.lint:
+            self._lint_query(query)
         if isinstance(table, Table):
             series_list = table.partition(query.partition_by, query.order_by)
         else:

@@ -34,6 +34,19 @@ class BindError(TRexError):
     """
 
 
+class QueryLintError(BindError):
+    """Static analysis rejected the query (engine ``lint=True`` mode).
+
+    Carries the full list of :class:`repro.analysis.Diagnostic` findings
+    (errors and warnings) in :attr:`diagnostics`; the message summarizes
+    the errors.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class PlanError(TRexError):
     """No valid physical plan exists for the query.
 

@@ -156,6 +156,11 @@ class PhysicalOperator(ABC):
     #: Human-readable operator name for EXPLAIN output.
     name = "op"
 
+    #: Cost-model key when it differs from ``name`` (see
+    #: ``repro.analysis.plan_verify.check_cost_coverage``); ``None`` means
+    #: the operator is charged under ``name``.
+    cost_key: Optional[str] = None
+
     def __init__(self, window: WindowConjunction,
                  publish: FrozenSet[str] = frozenset(),
                  requires: FrozenSet[str] = frozenset()):

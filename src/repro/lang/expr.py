@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, Iterator,
+                    List, Optional, Sequence, Tuple)
 
 from repro.aggregates.base import Aggregate
 from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
 from repro.errors import BindError, ExecutionError
+
+if TYPE_CHECKING:
+    from repro.timeseries.series import Series
 
 
 class Expr:
@@ -165,7 +169,8 @@ _ARITHMETIC: Dict[str, Callable[[float, float], float]] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b if b != 0 else math.inf * (1 if a > 0 else -1 if a < 0 else 0),
+    "/": lambda a, b: a / b if b != 0
+    else math.inf * (1 if a > 0 else -1 if a < 0 else 0),
 }
 
 _COMPARISON: Dict[str, Callable[[object, object], bool]] = {
@@ -185,7 +190,8 @@ def truthy(value: object) -> bool:
     if isinstance(value, bool):
         return value
     if isinstance(value, (int, float)):
-        return value != 0 and not (isinstance(value, float) and math.isnan(value))
+        return value != 0 and not (isinstance(value, float)
+                                   and math.isnan(value))
     return bool(value)
 
 
@@ -220,7 +226,7 @@ class EvalContext:
     __slots__ = ("series", "start", "end", "variable", "refs", "provider",
                  "registry")
 
-    def __init__(self, series, start: int, end: int,
+    def __init__(self, series: "Series", start: int, end: int,
                  variable: Optional[str] = None,
                  refs: Optional[Dict[str, Tuple[int, int]]] = None,
                  provider: Optional[AggregateProvider] = None,
@@ -272,7 +278,8 @@ def evaluate(expr: Expr, ctx: EvalContext) -> object:
         # A bare column over a multi-point segment is only meaningful inside
         # first()/last()/aggregates; standalone it denotes the last value
         # (MATCH_RECOGNIZE "final" semantics for navigation-free references).
-        return ctx.series.value_at(expr.column, end if end is not None else start)
+        return ctx.series.value_at(expr.column,
+                                   end if end is not None else start)
     if isinstance(expr, PointAccess):
         start, end = ctx.resolve_segment(expr.arg.variable)
         index = start if expr.which == "first" else end
@@ -329,7 +336,7 @@ def evaluate_condition(expr: Optional[Expr], ctx: EvalContext) -> bool:
 # Static analysis helpers
 # ---------------------------------------------------------------------------
 
-def walk(expr: Expr):
+def walk(expr: Expr) -> Iterator[Expr]:
     """Yield every node of the tree (pre-order)."""
     yield expr
     if isinstance(expr, WindowCall):
@@ -362,7 +369,8 @@ def referenced_variables(expr: Optional[Expr]) -> FrozenSet[str]:
     return frozenset(names)
 
 
-def external_references(expr: Optional[Expr], self_name: str) -> FrozenSet[str]:
+def external_references(expr: Optional[Expr],
+                        self_name: str) -> FrozenSet[str]:
     """Variables other than ``self_name`` referenced by the condition."""
     return frozenset(name for name in referenced_variables(expr)
                      if name != self_name)
@@ -471,5 +479,6 @@ def conjoin(conjuncts: Sequence[Expr]) -> Optional[Expr]:
     """Rebuild an AND tree from a list of conjuncts (None when empty)."""
     result: Optional[Expr] = None
     for conjunct in conjuncts:
-        result = conjunct if result is None else Binary("and", result, conjunct)
+        result = conjunct if result is None \
+            else Binary("and", result, conjunct)
     return result

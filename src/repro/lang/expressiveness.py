@@ -23,6 +23,7 @@ from typing import List, Tuple
 from repro.errors import PlanError
 from repro.lang import pattern as P
 from repro.lang.query import Query
+from repro.timeseries.series import Series
 
 #: A special pattern: a finite concatenation of point variables.
 SpecialPattern = Tuple[str, ...]
@@ -111,8 +112,8 @@ def enumerate_special_patterns(pattern: P.Pattern, query: Query,
     return sorted(results)
 
 
-def special_pattern_matches(special: SpecialPattern, query: Query, series,
-                            start: int) -> bool:
+def special_pattern_matches(special: SpecialPattern, query: Query,
+                            series: Series, start: int) -> bool:
     """Whether the special pattern matches points ``start .. start+len-1``."""
     from repro.lang import expr as E
 
@@ -129,7 +130,7 @@ def special_pattern_matches(special: SpecialPattern, query: Query, series,
 
 
 def matches_via_special_patterns(pattern: P.Pattern, query: Query,
-                                 series) -> set:
+                                 series: Series) -> set:
     """Match set of ``pattern`` computed through its special-pattern form.
 
     Used to validate Lemma A.1 executably: this must equal the brute-force

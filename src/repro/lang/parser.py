@@ -41,22 +41,33 @@ from repro.lang.lexer import Token, tokenize
 
 @dataclass
 class RawDefine:
-    """One DEFINE entry before binding."""
+    """One DEFINE entry before binding.
+
+    ``line``/``column`` locate the defined name in the query text (1-based;
+    0 when unknown) so diagnostics can point at the definition site.
+    """
 
     name: str
     is_segment: bool
     condition: E.Expr
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
 class ParsedQuery:
-    """Parser output, consumed by the binder."""
+    """Parser output, consumed by the binder.
+
+    ``var_spans`` maps each variable name to the (line, column) of its first
+    occurrence in the PATTERN clause, for diagnostics.
+    """
 
     partition_by: List[str] = field(default_factory=list)
     order_by: Optional[str] = None
     pattern: Optional[P.Pattern] = None
     subsets: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     defines: List[RawDefine] = field(default_factory=list)
+    var_spans: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
 
 class _Parser:
@@ -64,6 +75,7 @@ class _Parser:
         self._tokens = tokens
         self._pos = 0
         self._params = params
+        self._var_spans: Dict[str, Tuple[int, int]] = {}
 
     # -- token plumbing ----------------------------------------------------
 
@@ -150,6 +162,7 @@ class _Parser:
                 raise self._error("expected a query clause")
         if query.pattern is None:
             raise QuerySyntaxError("query has no PATTERN clause")
+        query.var_spans = dict(self._var_spans)
         return query
 
     def _parse_defines(self) -> List[RawDefine]:
@@ -165,10 +178,11 @@ class _Parser:
         if self._check_keyword("SEGMENT") or self._check_keyword("SEG"):
             self._advance()
             is_segment = True
-        name = self._expect_ident().text
+        name_token = self._expect_ident()
         self._expect_keyword("AS")
         condition = self.parse_condition()
-        return RawDefine(name, is_segment, condition)
+        return RawDefine(name_token.text, is_segment, condition,
+                         line=name_token.line, column=name_token.column)
 
     # -- pattern grammar ---------------------------------------------------
 
@@ -249,6 +263,7 @@ class _Parser:
         token = self._peek()
         if token.kind == "ident":
             self._advance()
+            self._var_spans.setdefault(token.text, (token.line, token.column))
             return P.VarRef(token.text)
         raise self._error("expected a variable or '('")
 
@@ -331,7 +346,8 @@ class _Parser:
             self._advance()
             text = token.text
             value = float(text)
-            if value.is_integer() and "." not in text and "e" not in text.lower():
+            if value.is_integer() and "." not in text \
+                    and "e" not in text.lower():
                 return E.Literal(int(value))
             return E.Literal(value)
         if token.kind == "string":
@@ -416,7 +432,8 @@ class _Parser:
         return E.AggCall(name.lower(), tuple(columns), tuple(extra))
 
 
-def parse(text: str, params: Optional[Dict[str, object]] = None) -> ParsedQuery:
+def parse(text: str,
+          params: Optional[Dict[str, object]] = None) -> ParsedQuery:
     """Parse a full query text into a :class:`ParsedQuery`."""
     parser = _Parser(tokenize(text), params or {})
     return parser.parse_query()

@@ -118,7 +118,8 @@ class Kleene(Pattern):
 
     def __post_init__(self):
         if self.min_reps < 0:
-            raise BindError(f"Kleene minimum must be >= 0, got {self.min_reps}")
+            raise BindError(
+                f"Kleene minimum must be >= 0, got {self.min_reps}")
         if self.max_reps is not None and self.max_reps < max(self.min_reps, 1):
             raise BindError(f"Kleene maximum {self.max_reps} below minimum "
                             f"{self.min_reps}")

@@ -74,7 +74,8 @@ class Query:
     partition_by: List[str] = field(default_factory=list)
     order_by: str = "tstamp"
     subsets: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
-    registry: AggregateRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
+    registry: AggregateRegistry = field(
+        default_factory=lambda: DEFAULT_REGISTRY)
 
     def var(self, name: str) -> VarDef:
         try:
@@ -96,7 +97,8 @@ class Query:
     def external_refs_of(self, node: P.Pattern) -> FrozenSet[str]:
         """Variables referenced by conditions inside ``node`` but matched
         outside of it."""
-        inside = {sub.name for sub in P.walk(node) if isinstance(sub, P.VarRef)}
+        inside = {sub.name for sub in P.walk(node)
+                  if isinstance(sub, P.VarRef)}
         needed = set()
         for name in inside:
             needed |= set(self.var(name).external_refs)
@@ -126,7 +128,8 @@ def _as_bound_number(expr: E.Expr, what: str) -> Optional[float]:
     if isinstance(expr, E.Literal):
         if expr.value is None:
             return None
-        if isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool):
+        if isinstance(expr.value, (int, float)) \
+                and not isinstance(expr.value, bool):
             return float(expr.value)
     if isinstance(expr, E.Unary) and expr.op == "-":
         inner = _as_bound_number(expr.operand, what)

@@ -396,7 +396,7 @@ def _duration_clause_to_window(clause: E.Expr, name: str,
             return expr.left.arg.column
         return None
 
-    def bound(expr: E.Expr):
+    def bound(expr: E.Expr) -> Optional[Tuple[float, Optional[str]]]:
         """(value, unit-or-None) for numeric literals and INTERVALs."""
         if isinstance(expr, E.Interval):
             return float(expr.value), expr.unit

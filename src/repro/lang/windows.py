@@ -61,7 +61,8 @@ class WindowSpec:
 
     @staticmethod
     def point(lo: float, hi: Optional[float]) -> "WindowSpec":
-        return WindowSpec("point", float(lo), None if hi is None else float(hi))
+        return WindowSpec("point", float(lo),
+                          None if hi is None else float(hi))
 
     @staticmethod
     def point_fixed(size: float) -> "WindowSpec":
@@ -237,7 +238,7 @@ class WindowConjunction:
         return start_lo, start_hi
 
     def accepts(self, series: Series, start: int, end: int) -> bool:
-        """Whether the inclusive segment ``[start, end]`` satisfies all specs."""
+        """Whether the inclusive ``[start, end]`` satisfies all specs."""
         for spec in self.specs:
             lo, hi = spec.bounds_on(series)
             if spec.kind == "point":
@@ -353,7 +354,7 @@ class WindowConjunction:
             return "wild"
         return " & ".join(spec.describe() for spec in self.specs)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, WindowConjunction):
             return NotImplemented
         return self.specs == other.specs

@@ -43,7 +43,7 @@ class PlanCostEstimator:
         cost, _card = self._visit(op, float(self.n), float(self.n))
         return cost
 
-    # -- helpers ---------------------------------------------------------------
+    # -- helpers -------------------------------------------------------------
 
     def _sel_w(self, op: PhysicalOperator, ls: float, le: float,
                lse: float) -> float:
@@ -84,7 +84,7 @@ class PlanCostEstimator:
                 + c_in * per_direct
         return cost, c_out
 
-    # -- recursion ---------------------------------------------------------------
+    # -- recursion -----------------------------------------------------------
 
     def _visit(self, op: PhysicalOperator, ls: float,
                le: float) -> Tuple[float, float]:

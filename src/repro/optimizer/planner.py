@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.errors import PlanError
 from repro.exec.base import PhysicalOperator
-from repro.lang import expr as E
 from repro.lang.query import Query, VarDef
 from repro.optimizer import costmodel as CM
 from repro.optimizer.construct import (LEAF_FILTER, LEAF_INDEXING,
@@ -199,7 +198,7 @@ class CostBasedPlanner:
         return Candidate(cost, max(card, _MIN_CARD), waiting,
                          candidate.provides_publish, build)
 
-    # -- the DP ----------------------------------------------------------------
+    # -- the DP --------------------------------------------------------------
 
     def _optimize(self, node: LogicalNode, ls: float, le: float,
                   available: FrozenSet[str]) -> Candidate:
@@ -224,7 +223,7 @@ class CostBasedPlanner:
         self._memo[key] = candidate
         return candidate
 
-    # -- leaves ----------------------------------------------------------------
+    # -- leaves --------------------------------------------------------------
 
     def _leaf_eval_costs(self, var: VarDef,
                          lse: float) -> Tuple[float, float, float, bool]:
@@ -294,7 +293,7 @@ class CostBasedPlanner:
         return Candidate(cost, c_out, (), publishes,
                          lambda impl=impl: construction.leaf(node, impl=impl))
 
-    # -- And chains -------------------------------------------------------------
+    # -- And chains ----------------------------------------------------------
 
     def _optimize_and(self, node: LAnd, ls: float, le: float,
                       available: FrozenSet[str]) -> Candidate:
@@ -420,7 +419,7 @@ class CostBasedPlanner:
 
         return Candidate(cost, c_out, pending, provides, build)
 
-    # -- Concat chains ------------------------------------------------------------
+    # -- Concat chains -------------------------------------------------------
 
     def _optimize_concat(self, node: LConcat, ls: float, le: float,
                          available: FrozenSet[str]) -> Candidate:
@@ -609,7 +608,7 @@ class CostBasedPlanner:
                         left.provides_publish | right.provides_publish,
                         build)
 
-    # -- Or / Not / Kleene -----------------------------------------------------------
+    # -- Or / Not / Kleene ---------------------------------------------------
 
     def _optimize_or(self, node: LOr, ls: float, le: float,
                      available: FrozenSet[str]) -> Candidate:

@@ -1,11 +1,9 @@
 """Physical plan validation (the paper's footnote 7).
 
-Conditions on multiple variables constrain the order in which sub-trees can
-execute: a consumer of a referenced segment must be evaluated while that
-segment is available (from above, or from the anchor side of a probe).
-:func:`validate_plan` walks a physical plan and returns every violation of
-the reference-flow rules; planners are expected to produce plans with no
-violations, and tests assert it.
+The reference-flow rules now live in :mod:`repro.analysis.plan_verify`
+(as :func:`~repro.analysis.plan_verify.reference_flow`, code ``TRX201``)
+alongside the rest of the static analyzer; this module keeps the original
+string-based API for the planners and existing tests.
 
 Checked rules:
 
@@ -26,95 +24,11 @@ from __future__ import annotations
 
 from typing import FrozenSet, List
 
-from repro.exec.and_or import (LeftProbeAnd, RightProbeAnd, SortMergeAnd,
-                               SortMergeOr)
+from repro.analysis.plan_verify import reference_flow
 from repro.exec.base import PhysicalOperator
-from repro.exec.concat import (LeftProbeConcat, RightProbeConcat,
-                               SortMergeConcat, WildWindowConcat)
-from repro.exec.filter_op import FilterOp
-from repro.exec.kleene import MaterializeKleene
-from repro.exec.not_op import MaterializeNot, ProbeNot
-from repro.exec.seggen import SegGenFilter, SegGenIndexing, SegGenWindow
-from repro.exec.special import SubPatternCache
-from repro.lang import expr as E
 
 
 def validate_plan(op: PhysicalOperator,
                   available: FrozenSet[str] = frozenset()) -> List[str]:
     """Return a list of reference-flow violations (empty = valid)."""
-    violations: List[str] = []
-    _validate(op, available, violations)
-    missing = set(op.requires) - set(available)
-    if missing:
-        violations.append(
-            f"plan root requires {sorted(missing)} with no provider")
-    return violations
-
-
-def _validate(op: PhysicalOperator, available: FrozenSet[str],
-              violations: List[str]) -> None:
-    if isinstance(op, (SegGenFilter, SegGenIndexing)):
-        missing = set(op.var.external_refs) - set(available)
-        if missing:
-            violations.append(
-                f"{op.describe()} needs {sorted(missing)} but only "
-                f"{sorted(available)} are available")
-        return
-    if isinstance(op, SegGenWindow):
-        return
-    if isinstance(op, SubPatternCache):
-        _validate(op.child, available, violations)
-        return
-    if isinstance(op, FilterOp):
-        provided = available | op.child.publish
-        for owner, condition in op.conditions:
-            needed = set(E.external_references(condition, owner)) | {owner}
-            missing = needed - set(provided)
-            if missing:
-                violations.append(
-                    f"{op.describe()} lifted condition on {owner!r} needs "
-                    f"{sorted(missing)} beyond child payload "
-                    f"{sorted(op.child.publish)}")
-        _validate(op.child, available, violations)
-        return
-    if isinstance(op, (MaterializeNot, ProbeNot, MaterializeKleene)):
-        child = op.children()[0]
-        missing = set(child.requires) - set(available)
-        if missing:
-            violations.append(
-                f"{op.describe()} child needs {sorted(missing)} which the "
-                f"operator cannot supply")
-        _validate(child, available, violations)
-        return
-    if isinstance(op, (SortMergeConcat, SortMergeAnd, SortMergeOr,
-                       WildWindowConcat)):
-        for side, child in zip(("left", "right"), op.children()):
-            missing = set(child.requires) - set(available)
-            if missing:
-                violations.append(
-                    f"{op.describe()} {side} child needs {sorted(missing)} "
-                    f"but Sort-Merge children must be independent")
-            _validate(child, available, violations)
-        return
-    if isinstance(op, (RightProbeConcat, RightProbeAnd)):
-        anchor, probed = op.left, op.right
-    elif isinstance(op, (LeftProbeConcat, LeftProbeAnd)):
-        anchor, probed = op.right, op.left
-    else:
-        # Unknown operator type: validate children conservatively.
-        for child in op.children():
-            _validate(child, available, violations)
-        return
-    missing = set(anchor.requires) - set(available)
-    if missing:
-        violations.append(
-            f"{op.describe()} anchor needs {sorted(missing)} with no "
-            f"provider")
-    _validate(anchor, available, violations)
-    probe_available = available | anchor.publish
-    missing = set(probed.requires) - set(probe_available)
-    if missing:
-        violations.append(
-            f"{op.describe()} probed side needs {sorted(missing)} but the "
-            f"anchor only publishes {sorted(anchor.publish)}")
-    _validate(probed, probe_available, violations)
+    return [diag.message for diag in reference_flow(op, available)]

@@ -95,7 +95,8 @@ class LVar(LogicalNode):
         return frozenset(self.var.external_refs)
 
     def describe(self) -> str:
-        suffix = f" [{self.window.describe()}]" if not self.window.is_wild else ""
+        suffix = f" [{self.window.describe()}]" \
+            if not self.window.is_wild else ""
         return f"{self.var.name}{suffix}"
 
 

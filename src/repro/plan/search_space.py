@@ -89,7 +89,8 @@ class SearchSpace:
         return SearchSpace(left_end + gap, left_end + gap,
                            self.e_lo, self.e_hi)
 
-    def probe_left_of_concat(self, right_start: int, gap: int) -> "SearchSpace":
+    def probe_left_of_concat(self, right_start: int,
+                             gap: int) -> "SearchSpace":
         """Probe space for the left child given a matched right segment."""
         return SearchSpace(self.s_lo, self.s_hi,
                            right_start - gap, right_start - gap)

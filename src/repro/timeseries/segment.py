@@ -98,6 +98,7 @@ class Segment:
 
     def __repr__(self) -> str:
         if self._payload:
-            refs = ", ".join(f"{k}={v}" for k, v in sorted(self._payload.items()))
+            refs = ", ".join(f"{k}={v}"
+                             for k, v in sorted(self._payload.items()))
             return f"Segment[{self.start}, {self.end}; {refs}]"
         return f"Segment[{self.start}, {self.end}]"

@@ -37,7 +37,8 @@ class Series:
     def __init__(self, columns: Dict[str, Sequence], order_column: str,
                  key: Optional[tuple] = None, time_unit: str = "DAY"):
         if order_column not in columns:
-            raise DataError(f"order column {order_column!r} missing from columns "
+            raise DataError(
+                f"order column {order_column!r} missing from columns "
                             f"{sorted(columns)}")
         self._columns: Dict[str, np.ndarray] = {}
         length = None
@@ -61,7 +62,8 @@ class Series:
     def _to_array(name: str, values: Sequence) -> np.ndarray:
         arr = np.asarray(values)
         if arr.ndim != 1:
-            raise DataError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            raise DataError(
+                f"column {name!r} must be 1-D, got shape {arr.shape}")
         if arr.dtype.kind in "iuf b".replace(" ", ""):
             return arr.astype(np.float64)
         return arr.astype(object)

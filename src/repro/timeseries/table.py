@@ -68,7 +68,8 @@ class Table:
         if not partition_by:
             order = np.argsort(self._columns[order_by], kind="stable")
             columns = {name: arr[order] for name, arr in self._columns.items()}
-            return [Series(columns, order_by, key=(), time_unit=self.time_unit)]
+            return [Series(columns, order_by, key=(),
+                           time_unit=self.time_unit)]
 
         groups: Dict[tuple, List[int]] = {}
         key_arrays = [self._columns[name] for name in partition_by]

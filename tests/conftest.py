@@ -39,6 +39,24 @@ def vee_series():
 
 
 @pytest.fixture
+def assert_lint_clean():
+    """Assert a query text has no static-analysis findings.
+
+    Usage: ``assert_lint_clean(text, params)`` — fails the test with the
+    formatted diagnostics when the analyzer reports anything.
+    """
+    from repro.analysis import lint_text
+
+    def check(text, params=None, registry=None):
+        kwargs = {} if registry is None else {"registry": registry}
+        diags = lint_text(text, params, **kwargs)
+        assert not diags, "query is not lint-clean:\n" + "\n".join(
+            diag.format() for diag in diags)
+
+    return check
+
+
+@pytest.fixture
 def small_table(rng):
     """Two-ticker table of 30 daily prices each."""
     n = 30

@@ -1,6 +1,5 @@
 """Aggregate tests: direct evaluation, indexes, registry, properties."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ import pytest
 from repro.cli import main
 from repro.datasets.loader import load_csv, save_csv
 from repro.errors import DataError
-from repro.timeseries.table import Table
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """Engine API tests: tables, partitions, results, stats."""
 
 import numpy as np
-import pytest
 
 from repro import TRexEngine, Table, find_matches
 from repro.core.result import QueryResult, SeriesMatches

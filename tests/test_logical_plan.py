@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import PlanError
 from repro.lang.query import compile_query
-from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
+from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LVar,
                                 build_logical_plan, walk)
 
 

@@ -200,7 +200,8 @@ class TestQueryClauses:
             ("A", False), ("B", True)]
 
     def test_pattern_with_trailing_and(self):
-        parsed = parse("ORDER BY t\nPATTERN (A B) & W\nDEFINE SEGMENT W AS true")
+        parsed = parse(
+            "ORDER BY t\nPATTERN (A B) & W\nDEFINE SEGMENT W AS true")
         assert isinstance(parsed.pattern, P.And)
 
     def test_missing_pattern_rejected(self):

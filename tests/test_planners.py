@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.engine import TRexEngine
 from repro.errors import PlanError
-from repro.exec.and_or import RightProbeAnd, SortMergeAnd
 from repro.exec.concat import SortMergeConcat
 from repro.exec.filter_op import FilterOp
 from repro.exec.not_op import MaterializeNot, ProbeNot

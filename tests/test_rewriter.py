@@ -3,7 +3,6 @@
 import copy
 
 import numpy as np
-import pytest
 
 from repro.core.bruteforce import BruteForceMatcher
 from repro.core.engine import TRexEngine

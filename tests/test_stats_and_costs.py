@@ -8,7 +8,7 @@ from repro.lang.query import compile_query
 from repro.optimizer.plan_coster import PlanCostEstimator
 from repro.optimizer.rulebased import RuleBasedPlanner, RuleStrategy
 from repro.optimizer.stats import (DEFAULT_REFERENCE_SELECTIVITY,
-                                   StatsCatalog, VarStats, collect_stats)
+                                   StatsCatalog, collect_stats)
 
 from tests.conftest import make_series
 
