@@ -288,6 +288,91 @@ def run_sharing_ablation(template: QueryTemplate, table: Table,
 
 
 # ---------------------------------------------------------------------------
+# Machine-readable metrics artifacts (BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+def _json_safe(value):
+    """Deep-copy ``value`` with non-finite floats replaced by ``None``.
+
+    Timeout cells are ``math.inf`` internally; JSON has no representation
+    for them, so artifacts store ``null``.
+    """
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def write_bench_artifact(out_dir: str, name: str, payload: dict) -> str:
+    """Write one ``BENCH_<name>.json`` metrics artifact; returns its path.
+
+    The payload is sanitized for JSON (``inf``/``nan`` become ``null``)
+    and written with sorted keys so artifacts diff cleanly across runs.
+    """
+    import json
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(_json_safe(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_bench_smoke(out_dir: str, template_name: str = "v_shape",
+                    num_series: int = 3, length: int = 60,
+                    instances: int = 1,
+                    timeout_seconds: Optional[float] = 30.0) -> str:
+    """Downscaled benchmark smoke run; returns the artifact path.
+
+    Runs the Table-4 optimizer comparison on a tiny instance of one
+    template plus one EXPLAIN ANALYZE pass, and writes everything as a
+    ``BENCH_smoke_<template>.json`` artifact — the CI smoke job uploads
+    this so per-operator metrics are inspectable per commit.
+    """
+    from repro.datasets import load
+    from repro.queries import get_template
+
+    template = get_template(template_name)
+    table = load(template.dataset, num_series=num_series, length=length)
+    param_sets = template.param_sets()[:instances]
+    comparisons = run_optimizer_comparison(
+        template, table, param_sets=param_sets,
+        timeout_seconds=timeout_seconds)
+
+    query = template.compile(param_sets[0])
+    series_list = table.partition(query.partition_by, query.order_by)
+    engine = TRexEngine(optimizer="cost", sharing="auto", analyze=True)
+    analyzed = engine.execute_query(query, series_list)
+
+    payload = {
+        "benchmark": "smoke",
+        "template": template.name,
+        "dataset": template.dataset,
+        "num_series": num_series,
+        "length": length,
+        "comparisons": [
+            {
+                "params": comparison.params,
+                "times": comparison.times,
+                "matches": comparison.matches,
+                "slowdowns": comparison.slowdowns(),
+            }
+            for comparison in comparisons
+        ],
+        "analyze": analyzed.metrics_dict(),
+        "plan_analyze": analyzed.plan_analyze,
+    }
+    return write_bench_artifact(out_dir, f"smoke_{template.name}", payload)
+
+
+# ---------------------------------------------------------------------------
 # Formatting helpers
 # ---------------------------------------------------------------------------
 

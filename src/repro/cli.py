@@ -3,11 +3,16 @@
 Commands:
 
 * ``query``   — run a pattern query over a CSV file or a built-in dataset;
-* ``explain`` — show the optimizer's physical plan without executing;
+* ``explain`` — show the optimizer's physical plan; with ``--analyze``
+  execute the query and annotate every operator with runtime metrics
+  (per-operator time, segment counts, probe hits/misses, search-space
+  range sizes — see docs/OBSERVABILITY.md);
 * ``lint``    — static analysis of query files or templates (trexlint);
 * ``datasets`` — list the synthetic datasets and their shapes;
 * ``templates`` — list the paper's query templates;
-* ``profile`` — run the offline cost-parameter profiling (Tables 5 & 6).
+* ``profile`` — run the offline cost-parameter profiling (Tables 5 & 6);
+* ``bench``   — downscaled benchmark smoke run emitting a machine-readable
+  ``BENCH_*.json`` metrics artifact.
 
 Examples::
 
@@ -103,13 +108,29 @@ def cmd_query(args) -> int:
 
 
 def cmd_explain(args) -> int:
+    if args.json and not args.analyze:
+        raise SystemExit("--json requires --analyze")
     params = _parse_params(args.param)
     query, template = _resolve_query(args, params)
     table = _resolve_table(args, template)
+    series_list = table.partition(query.partition_by, query.order_by)
+    if args.analyze:
+        engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing,
+                            analyze=True)
+        result = engine.execute_query(query, series_list)
+        if args.json:
+            print(json.dumps(result.metrics_dict(), indent=2,
+                             sort_keys=True))
+            return 0
+        print("Query:")
+        print(query.describe())
+        print("\nPhysical plan (analyzed):")
+        print(result.plan_analyze)
+        print(f"\n{result.summary()}")
+        return 0
     engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing)
     from repro.plan.logical import build_logical_plan
     logical = build_logical_plan(query)
-    series_list = table.partition(query.partition_by, query.order_by)
     print("Query:")
     print(query.describe())
     print("\nLogical plan:")
@@ -190,6 +211,16 @@ def cmd_templates(_args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.runner import run_bench_smoke
+    path = run_bench_smoke(args.out, template_name=args.template,
+                           num_series=args.series, length=args.length,
+                           instances=args.instances,
+                           timeout_seconds=args.timeout)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from repro.optimizer.profiler import profile_aggregates, profile_operators
     sizes = tuple(int(s) for s in args.sizes.split(","))
@@ -231,8 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--show-plan", action="store_true")
     q.set_defaults(fn=cmd_query)
 
-    e = sub.add_parser("explain", help="show the plan without executing")
+    e = sub.add_parser("explain", help="show the plan; --analyze runs it "
+                                       "and annotates runtime metrics")
     add_query_options(e)
+    e.add_argument("--analyze", action="store_true",
+                   help="execute the query and annotate the plan with "
+                        "per-operator runtime metrics")
+    e.add_argument("--json", action="store_true",
+                   help="with --analyze, print the metrics as JSON")
     e.set_defaults(fn=cmd_explain)
 
     li = sub.add_parser("lint", help="static analysis of query files")
@@ -257,6 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="offline cost profiling")
     p.add_argument("--sizes", default="200,400")
     p.set_defaults(fn=cmd_profile)
+
+    b = sub.add_parser("bench", help="benchmark smoke run; writes a "
+                                     "BENCH_*.json metrics artifact")
+    b.add_argument("--out", default="bench-artifacts",
+                   help="directory for the artifact")
+    b.add_argument("--template", default="v_shape")
+    b.add_argument("--series", type=int, default=3)
+    b.add_argument("--length", type=int, default=60)
+    b.add_argument("--instances", type=int, default=1,
+                   help="parameter sets to run (prefix of the grid)")
+    b.add_argument("--timeout", type=float, default=30.0,
+                   help="per-strategy timeout in seconds")
+    b.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -21,6 +21,7 @@ indexes entirely.
 
 from __future__ import annotations
 
+import heapq
 import logging
 import time
 from typing import Dict, List, Optional, Tuple, Union
@@ -28,6 +29,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.result import QueryResult, SeriesMatches
 from repro.errors import PlanError, QueryLintError
 from repro.exec.base import ExecContext, PhysicalOperator
+from repro.exec.metrics import RunMetrics, instrument_plan
 from repro.lang.query import Query, compile_query
 from repro.plan.logical import LogicalNode, build_logical_plan
 from repro.plan.search_space import SearchSpace
@@ -57,7 +59,8 @@ class TRexEngine:
                  sharing: str = "auto",
                  timeout_seconds: Optional[float] = None,
                  max_matches: Optional[int] = None,
-                 lint: bool = False):
+                 lint: bool = False,
+                 analyze: bool = False):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
@@ -70,12 +73,17 @@ class TRexEngine:
         #: Wall-clock budget for one execute_query() call; exceeding it
         #: raises :class:`repro.errors.QueryTimeout`.
         self.timeout_seconds = timeout_seconds
-        #: Stop after this many matches across all series (early exit).
+        #: Stop after this many matches across all series; the kept
+        #: subset is the positionally-smallest matches, so it is
+        #: deterministic across planners.
         self.max_matches = max_matches
         #: Run the static analyzer before planning: reject queries with
         #: lint errors (:class:`repro.errors.QueryLintError`), log
         #: warnings.
         self.lint = lint
+        #: EXPLAIN ANALYZE mode: collect per-operator runtime metrics on
+        #: the result (``QueryResult.op_metrics`` / ``plan_analyze``).
+        self.analyze = analyze
 
     def _lint_query(self, query: Query) -> None:
         from repro.analysis import analyze
@@ -153,6 +161,10 @@ class TRexEngine:
         deadline = None
         if self.timeout_seconds is not None:
             deadline = t1 + self.timeout_seconds
+        # Analyze mode evaluates an instrumented shallow copy; the
+        # original plan is untouched, so disabled mode pays nothing.
+        exec_plan = instrument_plan(plan) if self.analyze else plan
+        total_metrics = RunMetrics() if self.analyze else None
         exec_seconds = 0.0
         remaining = self.max_matches
         for series in series_list:
@@ -160,15 +172,27 @@ class TRexEngine:
                 result.per_series.append(SeriesMatches(series.key, []))
                 continue
             t2 = time.perf_counter()
-            matches, stats = self._run_plan(plan, series, query,
-                                            deadline=deadline,
-                                            limit=remaining)
-            exec_seconds += time.perf_counter() - t2
+            matches, ctx = self._run_plan(exec_plan, series, query,
+                                          deadline=deadline,
+                                          limit=remaining,
+                                          collect_metrics=self.analyze)
+            seconds = time.perf_counter() - t2
+            exec_seconds += seconds
+            if ctx.metrics is not None:
+                ctx.metrics.finalize(plan)
             if remaining is not None:
                 remaining -= len(matches)
-            result.per_series.append(SeriesMatches(series.key, matches))
-            result.stats.update(stats)
+            result.per_series.append(SeriesMatches(
+                series.key, matches, stats=ctx.stats, seconds=seconds,
+                metrics=ctx.metrics))
+            if total_metrics is not None and ctx.metrics is not None:
+                total_metrics.merge(ctx.metrics)
         result.execution_seconds = exec_seconds
+        if total_metrics is not None:
+            total_metrics.finalize(plan)
+            result.op_metrics = total_metrics
+            result.plan_analyze = total_metrics.annotate(plan)
+            result.analyze_tree = total_metrics.tree_dict(plan)
         return result
 
     def explain_match(self, query: Query, series: Series, start: int,
@@ -185,21 +209,39 @@ class TRexEngine:
 
     def _run_plan(self, plan: PhysicalOperator, series: Series,
                   query: Query, deadline: Optional[float] = None,
-                  limit: Optional[int] = None) \
-            -> Tuple[List[Tuple[int, int]], Dict]:
-        ctx = ExecContext(series, query.registry, deadline=deadline)
+                  limit: Optional[int] = None,
+                  collect_metrics: bool = False) \
+            -> Tuple[List[Tuple[int, int]], ExecContext]:
+        ctx = ExecContext(series, query.registry, deadline=deadline,
+                          metrics=RunMetrics() if collect_metrics else None)
         sp = SearchSpace.full(len(series))
         seen = set()
         matches: List[Tuple[int, int]] = []
+        if limit is None:
+            for segment in plan.eval(ctx, sp, {}):
+                bounds = segment.bounds
+                if bounds not in seen:
+                    seen.add(bounds)
+                    matches.append(bounds)
+            matches.sort()
+            return matches, ctx
+        # Truncation keeps the `limit` positionally-smallest matches so
+        # the subset is deterministic: plan emission order differs across
+        # optimizers, so keeping the first N emitted would silently return
+        # different subsets for the same query.
+        heap: List[Tuple[int, int]] = []  # max-heap via negated bounds
         for segment in plan.eval(ctx, sp, {}):
             bounds = segment.bounds
-            if bounds not in seen:
-                seen.add(bounds)
-                matches.append(bounds)
-                if limit is not None and len(matches) >= limit:
-                    break
-        matches.sort()
-        return matches, ctx.stats
+            if bounds in seen:
+                continue
+            seen.add(bounds)
+            item = (-bounds[0], -bounds[1])
+            if len(heap) < limit:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+        matches = sorted((-s, -e) for s, e in heap)
+        return matches, ctx
 
 
 def find_matches(table: Table, query_text: str,

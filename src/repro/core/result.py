@@ -1,18 +1,35 @@
-"""Query results: matches per series plus run diagnostics."""
+"""Query results: matches per series plus run diagnostics.
+
+Run statistics are attributed per series (:attr:`SeriesMatches.stats`);
+:attr:`QueryResult.stats` folds them into the flat aggregate
+:class:`~collections.Counter` older callers expect.  When the engine runs
+with ``analyze=True`` the result additionally carries per-operator runtime
+metrics (:attr:`QueryResult.op_metrics`), the annotated plan tree
+(:attr:`QueryResult.plan_analyze`) and a JSON form
+(:meth:`QueryResult.metrics_dict`) — see docs/OBSERVABILITY.md.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.exec.metrics import RunMetrics
 
 
 @dataclass
 class SeriesMatches:
-    """All matches found in one series."""
+    """All matches found in one series, with per-series diagnostics."""
 
     key: tuple
     matches: List[Tuple[int, int]]
+    #: Run-statistics counters for this series alone.
+    stats: Counter = field(default_factory=Counter)
+    #: Wall time spent executing the plan over this series.
+    seconds: float = 0.0
+    #: Per-operator metrics for this series (analyze mode only).
+    metrics: Optional[RunMetrics] = None
 
     def __len__(self) -> int:
         return len(self.matches)
@@ -26,7 +43,24 @@ class QueryResult:
     plan_explain: str = ""
     planning_seconds: float = 0.0
     execution_seconds: float = 0.0
-    stats: Counter = field(default_factory=Counter)
+    #: Aggregate per-operator metrics across series (analyze mode only).
+    op_metrics: Optional[RunMetrics] = None
+    #: Plan tree annotated with runtime metrics (analyze mode only).
+    plan_analyze: str = ""
+    #: JSON-ready plan tree with per-node metrics (analyze mode only).
+    analyze_tree: Optional[dict] = None
+
+    @property
+    def stats(self) -> Counter:
+        """Aggregate run statistics folded across all series.
+
+        Kept for backward compatibility with the original flat counter;
+        per-series attribution lives on :attr:`SeriesMatches.stats`.
+        """
+        merged: Counter = Counter()
+        for entry in self.per_series:
+            merged.update(entry.stats)
+        return merged
 
     @property
     def total_matches(self) -> int:
@@ -46,6 +80,34 @@ class QueryResult:
             for start, end in entry.matches:
                 out.append((entry.key, start, end))
         return out
+
+    def metrics_dict(self) -> dict:
+        """Machine-readable run metrics (the EXPLAIN ANALYZE JSON form).
+
+        Always includes the per-series breakdown; the ``plan`` and
+        ``operators`` sections are present only when the engine ran with
+        ``analyze=True``.
+        """
+        data: dict = {
+            "total_matches": self.total_matches,
+            "planning_seconds": self.planning_seconds,
+            "execution_seconds": self.execution_seconds,
+            "stats": dict(self.stats),
+            "per_series": [
+                {
+                    "key": list(entry.key),
+                    "matches": len(entry),
+                    "seconds": entry.seconds,
+                    "stats": dict(entry.stats),
+                }
+                for entry in self.per_series
+            ],
+        }
+        if self.analyze_tree is not None:
+            data["plan"] = self.analyze_tree
+        if self.op_metrics is not None:
+            data["operators"] = self.op_metrics.to_list()
+        return data
 
     def summary(self) -> str:
         return (f"{self.total_matches} matches over "

@@ -58,13 +58,14 @@ class SortMergeAnd(_BinaryAnd):
             return
 
         def generate() -> Iterator[Segment]:
-            lefts = list(self.left.eval(ctx, sp, refs))
-            if not lefts:
-                return  # early termination
             by_bounds: Dict[Tuple[int, int], List[Segment]] = defaultdict(list)
-            for left in lefts:
+            for left in self.left.eval(ctx, sp, refs):
+                ctx.tick()
                 by_bounds[left.bounds].append(left)
+            if not by_bounds:
+                return  # early termination
             for right in self.right.eval(ctx, sp, refs):
+                ctx.tick()
                 for left in by_bounds.get(right.bounds, ()):
                     yield from self._join(ctx, sp, left, right)
 
@@ -94,8 +95,12 @@ class RightProbeAnd(_BinaryAnd):
                 rights = ctx.probe_cache_get(key)
                 if rights is None:
                     ctx.stats["probe_calls"] += 1
+                    ctx.count(self, "probe_cache_misses")
                     rights = list(self.right.eval(ctx, probe, child_refs))
                     ctx.probe_cache_put(key, rights)
+                else:
+                    ctx.stats["probe_cache_hits"] += 1
+                    ctx.count(self, "probe_cache_hits")
                 for right in rights:
                     yield from self._join(ctx, sp, left, right)
 
@@ -125,8 +130,12 @@ class LeftProbeAnd(_BinaryAnd):
                 lefts = ctx.probe_cache_get(key)
                 if lefts is None:
                     ctx.stats["probe_calls"] += 1
+                    ctx.count(self, "probe_cache_misses")
                     lefts = list(self.left.eval(ctx, probe, child_refs))
                     ctx.probe_cache_put(key, lefts)
+                else:
+                    ctx.stats["probe_cache_hits"] += 1
+                    ctx.count(self, "probe_cache_hits")
                 for left in lefts:
                     yield from self._join(ctx, sp, right, left)
 
@@ -159,6 +168,7 @@ class SortMergeOr(PhysicalOperator):
         def generate() -> Iterator[Segment]:
             for child in (self.left, self.right):
                 for segment in child.eval(ctx, sp, refs):
+                    ctx.tick()
                     if not self.window.accepts(ctx.series, segment.start,
                                                segment.end):
                         continue

@@ -16,7 +16,8 @@ import itertools
 import time
 from abc import ABC, abstractmethod
 from collections import Counter
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.aggregates.base import Aggregate, AggregateIndex
 from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
@@ -26,6 +27,9 @@ from repro.lang.windows import WindowConjunction
 from repro.plan.search_space import SearchSpace
 from repro.timeseries.segment import Segment
 from repro.timeseries.series import Series
+
+if TYPE_CHECKING:
+    from repro.exec.metrics import RunMetrics
 
 Env = Dict[str, Tuple[int, int]]
 
@@ -80,7 +84,8 @@ class ExecContext:
 
     def __init__(self, series: Series,
                  registry: AggregateRegistry = DEFAULT_REGISTRY,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 metrics: Optional["RunMetrics"] = None):
         self.series = series
         self.registry = registry
         self.stats: Counter = Counter()
@@ -91,6 +96,13 @@ class ExecContext:
         #: Absolute time.perf_counter() deadline, or None for no limit.
         self.deadline = deadline
         self._ticks = 0
+        #: Per-operator metric sink (EXPLAIN ANALYZE); None when disabled.
+        self.metrics = metrics
+
+    def count(self, op: "PhysicalOperator", name: str, n: int = 1) -> None:
+        """Attribute a named event to ``op`` (no-op unless analyzing)."""
+        if self.metrics is not None:
+            self.metrics.count(op, name, n)
 
     def tick(self) -> None:
         """Cheap cooperative cancellation point for hot loops.

@@ -70,14 +70,15 @@ class SortMergeConcat(_BinaryConcat):
             return
 
         def generate() -> Iterator[Segment]:
-            lefts = list(self.left.eval(ctx, sp.concat_left(self.gap), refs))
-            if not lefts:
-                return  # early termination: no need to evaluate the right
             by_end: Dict[int, List[Segment]] = defaultdict(list)
-            for left in lefts:
+            for left in self.left.eval(ctx, sp.concat_left(self.gap), refs):
+                ctx.tick()
                 by_end[left.end].append(left)
+            if not by_end:
+                return  # early termination: no need to evaluate the right
             for right in self.right.eval(ctx, sp.concat_right(self.gap),
                                          refs):
+                ctx.tick()
                 for left in by_end.get(right.start - self.gap, ()):
                     yield from self._join(ctx, sp, left, right)
 
@@ -114,8 +115,12 @@ class RightProbeConcat(_BinaryConcat):
                 rights = ctx.probe_cache_get(key)
                 if rights is None:
                     ctx.stats["probe_calls"] += 1
+                    ctx.count(self, "probe_cache_misses")
                     rights = list(self.right.eval(ctx, probe, child_refs))
                     ctx.probe_cache_put(key, rights)
+                else:
+                    ctx.stats["probe_cache_hits"] += 1
+                    ctx.count(self, "probe_cache_hits")
                 for right in rights:
                     yield from self._join(ctx, sp, left, right)
 
@@ -151,8 +156,12 @@ class LeftProbeConcat(_BinaryConcat):
                 lefts = ctx.probe_cache_get(key)
                 if lefts is None:
                     ctx.stats["probe_calls"] += 1
+                    ctx.count(self, "probe_cache_misses")
                     lefts = list(self.left.eval(ctx, probe, child_refs))
                     ctx.probe_cache_put(key, lefts)
+                else:
+                    ctx.stats["probe_cache_hits"] += 1
+                    ctx.count(self, "probe_cache_hits")
                 for left in lefts:
                     yield from self._join(ctx, sp, left, right)
 
@@ -190,16 +199,23 @@ class WildWindowConcat(PhysicalOperator):
 
         def generate() -> Iterator[Segment]:
             left_sp = SearchSpace(sp.s_lo, sp.s_hi, sp.s_lo, sp.e_hi)
-            lefts = list(self.left.eval(ctx, left_sp, refs))
+            lefts = []
+            for left in self.left.eval(ctx, left_sp, refs):
+                ctx.tick()
+                lefts.append(left)
             if not lefts:
                 return
             right_sp = SearchSpace(sp.s_lo, sp.e_hi, sp.e_lo, sp.e_hi)
-            rights = sorted(self.right.eval(ctx, right_sp, refs),
-                            key=lambda seg: seg.start)
+            rights = []
+            for right in self.right.eval(ctx, right_sp, refs):
+                ctx.tick()
+                rights.append(right)
             if not rights:
                 return
+            rights.sort(key=lambda seg: seg.start)
             starts = [seg.start for seg in rights]
             for left in lefts:
+                ctx.tick()
                 # Admissible pad end positions (= right start positions).
                 pad_lo, pad_hi = self.pad_window.end_range(ctx.series,
                                                            left.end)
@@ -208,6 +224,7 @@ class WildWindowConcat(PhysicalOperator):
                 lo_index = bisect.bisect_left(starts, pad_lo)
                 hi_index = bisect.bisect_right(starts, pad_hi)
                 for right in rights[lo_index:hi_index]:
+                    ctx.tick()
                     start, end = left.start, right.end
                     if end < max(sp.e_lo, e_lo) or end > min(sp.e_hi, e_hi):
                         continue

@@ -65,6 +65,7 @@ class FilterOp(PhysicalOperator):
                                  owner_segment[1], variable=owner, refs=env,
                                  provider=provider, registry=ctx.registry)
             ctx.stats["condition_evals"] += 1
+            ctx.count(self, "condition_evals")
             if not E.evaluate_condition(condition, ectx):
                 return False
         return True

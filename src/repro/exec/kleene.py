@@ -61,6 +61,7 @@ class MaterializeKleene(PhysicalOperator):
         child_sp = sp.kleene_child()
         by_start: Dict[int, List[int]] = defaultdict(list)
         for segment in self.child.eval(ctx, child_sp, refs):
+            ctx.tick()
             if self.gap == 0 and segment.duration == 0:
                 # A zero-duration link makes no progress under shared
                 # boundaries; skip it to guarantee termination.

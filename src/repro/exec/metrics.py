@@ -1,0 +1,261 @@
+"""EXPLAIN ANALYZE: per-operator runtime metrics (observability layer).
+
+The engine's ``analyze`` mode wraps every node of a physical plan in a
+timing shim (:func:`instrument_plan`) and collects one :class:`OpMetrics`
+record per operator on the :class:`~repro.exec.base.ExecContext`, keyed by
+``op_id``:
+
+* ``eval_calls`` — how many times the operator's ``eval`` was entered
+  (probed operators are entered once per cache miss);
+* ``segments_out`` — segments the operator emitted;
+* ``segments_in`` — segments pulled from children (derived at
+  :meth:`RunMetrics.finalize` as the sum of the children's emissions);
+* ``sum_ls``/``sum_le``/``max_ls``/``max_le`` — the incoming search-space
+  range sizes ℓ_s and ℓ_e (Table 1's cardinality inputs), so the measured
+  reality can be compared against the cost model's assumptions;
+* ``time_seconds`` — cumulative wall time spent inside the operator's
+  iterator, children included; ``self_seconds`` subtracts the children;
+* ``counters`` — operator-reported events (probe-cache hits/misses,
+  condition evaluations, sub-pattern cache hits, ...) attributed through
+  :meth:`~repro.exec.base.ExecContext.count`.
+
+Overhead guarantee: when analyze mode is off the engine evaluates the
+*uninstrumented* plan — the shim does not exist — and the only residual
+cost is one ``ctx.metrics is None`` check at each operator-reported event
+site (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.exec.base import Env, ExecContext, PhysicalOperator
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+
+@dataclass
+class OpMetrics:
+    """Runtime metrics for one physical operator (one ``op_id``)."""
+
+    op_id: int
+    label: str
+    eval_calls: int = 0
+    segments_out: int = 0
+    #: Derived: sum of direct children's ``segments_out`` (finalize()).
+    segments_in: int = 0
+    #: Incoming search-space range sizes, summed over eval calls.
+    sum_ls: int = 0
+    sum_le: int = 0
+    max_ls: int = 0
+    max_le: int = 0
+    #: Cumulative wall time inside this operator's iterator (children
+    #: included); ``self_seconds`` is derived by ``finalize()``.
+    time_seconds: float = 0.0
+    self_seconds: float = 0.0
+    counters: Counter = field(default_factory=Counter)
+
+    def observe_space(self, sp: SearchSpace) -> None:
+        ls, le = sp.start_range_size, sp.end_range_size
+        self.sum_ls += ls
+        self.sum_le += le
+        self.max_ls = max(self.max_ls, ls)
+        self.max_le = max(self.max_le, le)
+
+    @property
+    def avg_ls(self) -> float:
+        return self.sum_ls / self.eval_calls if self.eval_calls else 0.0
+
+    @property
+    def avg_le(self) -> float:
+        return self.sum_le / self.eval_calls if self.eval_calls else 0.0
+
+    def merge(self, other: "OpMetrics") -> None:
+        self.eval_calls += other.eval_calls
+        self.segments_out += other.segments_out
+        self.segments_in += other.segments_in
+        self.sum_ls += other.sum_ls
+        self.sum_le += other.sum_le
+        self.max_ls = max(self.max_ls, other.max_ls)
+        self.max_le = max(self.max_le, other.max_le)
+        self.time_seconds += other.time_seconds
+        self.self_seconds += other.self_seconds
+        self.counters.update(other.counters)
+
+    def annotation(self) -> str:
+        """One-line metric summary for the annotated EXPLAIN tree."""
+        parts = [f"time={self.time_seconds * 1e3:.3f}ms",
+                 f"self={self.self_seconds * 1e3:.3f}ms",
+                 f"evals={self.eval_calls}",
+                 f"in={self.segments_in}",
+                 f"out={self.segments_out}",
+                 f"ls_avg={self.avg_ls:.1f}",
+                 f"le_avg={self.avg_le:.1f}"]
+        parts.extend(f"{name}={value}"
+                     for name, value in sorted(self.counters.items()))
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        data = {
+            "op_id": self.op_id,
+            "operator": self.label,
+            "eval_calls": self.eval_calls,
+            "segments_in": self.segments_in,
+            "segments_out": self.segments_out,
+            "time_seconds": self.time_seconds,
+            "self_seconds": self.self_seconds,
+            "search_space": {
+                "sum_ls": self.sum_ls, "sum_le": self.sum_le,
+                "max_ls": self.max_ls, "max_le": self.max_le,
+                "avg_ls": self.avg_ls, "avg_le": self.avg_le,
+            },
+        }
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        return data
+
+
+class RunMetrics:
+    """Per-operator metrics for one plan evaluation (or an aggregate)."""
+
+    def __init__(self) -> None:
+        self.ops: Dict[int, OpMetrics] = {}
+
+    def for_op(self, op: PhysicalOperator) -> OpMetrics:
+        record = self.ops.get(op.op_id)
+        if record is None:
+            record = OpMetrics(op.op_id, op.describe())
+            self.ops[op.op_id] = record
+        return record
+
+    def count(self, op: PhysicalOperator, name: str, n: int = 1) -> None:
+        self.for_op(op).counters[name] += n
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another run's records into this one (cross-series)."""
+        for op_id, theirs in other.ops.items():
+            mine = self.ops.get(op_id)
+            if mine is None:
+                mine = OpMetrics(op_id, theirs.label)
+                self.ops[op_id] = mine
+            mine.merge(theirs)
+
+    def finalize(self, plan: PhysicalOperator) -> None:
+        """Derive ``self_seconds`` and ``segments_in`` from the tree."""
+        def walk(op: PhysicalOperator) -> None:
+            child_time = 0.0
+            child_out = 0
+            for child in op.children():
+                walk(child)
+                child_metrics = self.ops.get(child.op_id)
+                if child_metrics is not None:
+                    child_time += child_metrics.time_seconds
+                    child_out += child_metrics.segments_out
+            record = self.ops.get(op.op_id)
+            if record is not None:
+                record.self_seconds = max(
+                    0.0, record.time_seconds - child_time)
+                record.segments_in = child_out
+        walk(plan)
+
+    def annotate(self, plan: PhysicalOperator) -> str:
+        """The plan's explain tree with one metric line per operator."""
+        lines: List[str] = []
+
+        def walk(op: PhysicalOperator, indent: int) -> None:
+            pad = "  " * indent
+            window = "" if op.window.is_wild \
+                else f" [{op.window.describe()}]"
+            lines.append(f"{pad}{op.describe()}{window}")
+            record = self.ops.get(op.op_id)
+            detail = record.annotation() if record is not None \
+                else "(never evaluated)"
+            lines.append(f"{pad}  `- {detail}")
+            for child in op.children():
+                walk(child, indent + 1)
+
+        walk(plan, 0)
+        return "\n".join(lines)
+
+    def tree_dict(self, plan: PhysicalOperator) -> dict:
+        """JSON form: the plan tree with a ``metrics`` entry per node."""
+        node: dict = {"operator": plan.describe(), "op_id": plan.op_id}
+        if not plan.window.is_wild:
+            node["window"] = plan.window.describe()
+        record = self.ops.get(plan.op_id)
+        if record is not None:
+            node["metrics"] = record.to_dict()
+        children = [self.tree_dict(child) for child in plan.children()]
+        if children:
+            node["children"] = children
+        return node
+
+    def to_list(self) -> List[dict]:
+        """Flat per-operator records, ordered by ``op_id``."""
+        return [self.ops[op_id].to_dict() for op_id in sorted(self.ops)]
+
+    @property
+    def total_time_seconds(self) -> float:
+        return sum(record.self_seconds for record in self.ops.values())
+
+
+_CHILD_ATTRS = ("child", "left", "right")
+
+
+def instrument_plan(plan: PhysicalOperator) -> PhysicalOperator:
+    """Shallow-copy ``plan`` wrapping every ``eval`` with metric capture.
+
+    The copies share all immutable state (windows, conditions, ``op_id``)
+    with the original nodes, so metrics recorded while running the
+    instrumented copy can be reported against the original plan tree.
+    Only the time spent *inside* each operator's iterator is charged to
+    it; consumer-side gaps between ``next()`` calls are not.
+    """
+    clone = copy.copy(plan)
+    for attr in _CHILD_ATTRS:
+        child = getattr(clone, attr, None)
+        if isinstance(child, PhysicalOperator):
+            setattr(clone, attr, instrument_plan(child))
+    inner_eval = type(plan).eval
+
+    def analyzed_eval(ctx: ExecContext, sp: SearchSpace,
+                      refs: Env) -> Iterator[Segment]:
+        metrics = ctx.metrics
+        if metrics is None:
+            yield from inner_eval(clone, ctx, sp, refs)
+            return
+        record = metrics.for_op(clone)
+        record.eval_calls += 1
+        record.observe_space(sp)
+        t0 = time.perf_counter()
+        # Timed separately: non-generator evals (SubPatternCache) do
+        # their materialization work in the call itself.
+        iterator = inner_eval(clone, ctx, sp, refs)
+        record.time_seconds += time.perf_counter() - t0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                segment = next(iterator)
+            except StopIteration:
+                record.time_seconds += time.perf_counter() - t0
+                return
+            record.time_seconds += time.perf_counter() - t0
+            record.segments_out += 1
+            yield segment
+
+    # Instance attribute shadows the class method for ``clone`` only.
+    clone.eval = analyzed_eval  # type: ignore[method-assign]
+    return clone
+
+
+def merged_metrics(per_series: List[Optional[RunMetrics]]) -> RunMetrics:
+    """Aggregate per-series run metrics into one cross-series view."""
+    total = RunMetrics()
+    for metrics in per_series:
+        if metrics is not None:
+            total.merge(metrics)
+    return total

@@ -43,12 +43,13 @@ class MaterializeNot(_NotBase):
         sp = sp.clamp(len(ctx.series))
         if sp.is_empty():
             return
-        matched: Set[Tuple[int, int]] = {
-            segment.bounds
-            for segment in self.child.eval(ctx, sp, refs)
-        }
+        matched: Set[Tuple[int, int]] = set()
+        for segment in self.child.eval(ctx, sp, refs):
+            ctx.tick()
+            matched.add(segment.bounds)
         for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
                                               sp.e_lo, sp.e_hi):
+            ctx.tick()
             if (start, end) not in matched:
                 ctx.stats["segments_emitted"] += 1
                 yield Segment(start, end)
@@ -67,8 +68,10 @@ class ProbeNot(_NotBase):
             return
         for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
                                               sp.e_lo, sp.e_hi):
+            ctx.tick()
             probe = SearchSpace.exact(start, end)
             ctx.stats["probe_calls"] += 1
+            ctx.count(self, "probe_calls")
             # The iterator is closed after the first hit (cheap negation).
             hit = next(iter(self.child.eval(ctx, probe, refs)), None)
             if hit is None:

@@ -73,6 +73,9 @@ class _ConditionLeaf(PhysicalOperator):
         var = self.var
         is_point = not var.is_segment
         publish_self = var.name in self.publish
+        # Hoisted metric sink: one is-None check per candidate when off.
+        metrics = ctx.metrics
+        record = metrics.for_op(self) if metrics is not None else None
         for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
                                               sp.e_lo, sp.e_hi):
             ctx.tick()
@@ -82,6 +85,8 @@ class _ConditionLeaf(PhysicalOperator):
                                  refs=refs, provider=provider,
                                  registry=ctx.registry)
             ctx.stats["condition_evals"] += 1
+            if record is not None:
+                record.counters["condition_evals"] += 1
             if E.evaluate_condition(var.condition, ectx):
                 ctx.stats["segments_emitted"] += 1
                 if publish_self:

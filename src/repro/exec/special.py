@@ -44,10 +44,12 @@ class SubPatternCache(PhysicalOperator):
         cached = ctx.probe_cache_get(key)
         if cached is None:
             ctx.stats["subpattern_evals"] += 1
+            ctx.count(self, "subpattern_evals")
             cached = list(self.child.eval(ctx, sp, refs))
             ctx.probe_cache_put(key, cached)
         else:
             ctx.stats["subpattern_cache_hits"] += 1
+            ctx.count(self, "subpattern_cache_hits")
         return iter(cached)
 
     def describe(self) -> str:

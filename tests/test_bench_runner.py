@@ -86,6 +86,40 @@ class TestExecutorComparison:
         assert speedups["trex"] > 0
 
 
+class TestBenchArtifacts:
+    def test_json_safe_replaces_inf(self):
+        from repro.bench.runner import _json_safe
+        data = _json_safe({"times": {"a": math.inf, "b": 1.0},
+                           "rows": [math.nan, 2]})
+        assert data == {"times": {"a": None, "b": 1.0},
+                        "rows": [None, 2]}
+
+    def test_write_bench_artifact(self, tmp_path):
+        import json
+
+        from repro.bench.runner import write_bench_artifact
+        path = write_bench_artifact(
+            str(tmp_path), "unit", {"x": math.inf, "y": [1, 2]})
+        assert path.endswith("BENCH_unit.json")
+        with open(path) as handle:
+            assert json.load(handle) == {"x": None, "y": [1, 2]}
+
+    def test_run_bench_smoke_emits_artifact(self, tmp_path):
+        import json
+
+        from repro.bench.runner import run_bench_smoke
+        path = run_bench_smoke(str(tmp_path), num_series=2, length=50)
+        assert path.endswith("BENCH_smoke_v_shape.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["benchmark"] == "smoke"
+        assert data["comparisons"][0]["times"]["optimizer"] is not None
+        analyze = data["analyze"]
+        assert analyze["operators"], "per-operator metrics missing"
+        assert "plan" in analyze
+        assert "SegGen" in data["plan_analyze"]
+
+
 class TestFormatting:
     def test_format_table_alignment(self):
         text = format_table(["name", "value"],

@@ -117,6 +117,43 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Logical plan" in out and "Physical plan" in out
 
+    def test_explain_analyze_command(self, capsys):
+        code = main(["explain", "--analyze", "--dataset", "sp500",
+                     "--template", "v_shape",
+                     "--param", "down_r2_max=-0.7",
+                     "--param", "up_r2_min=0.7",
+                     "--param", "total_window_size=30",
+                     "--series", "2", "--length", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Physical plan (analyzed)" in out
+        assert "time=" in out and "self=" in out
+        assert "matches over" in out
+
+    def test_explain_analyze_json(self, capsys):
+        import json
+        code = main(["explain", "--analyze", "--json", "--dataset",
+                     "sp500", "--template", "v_shape",
+                     "--param", "down_r2_max=-0.7",
+                     "--param", "up_r2_min=0.7",
+                     "--param", "total_window_size=30",
+                     "--series", "2", "--length", "50"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "plan" in data and "operators" in data
+
+    def test_json_without_analyze_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "--json", "--dataset", "sp500",
+                  "--template", "v_shape"])
+
+    def test_bench_command(self, tmp_path, capsys):
+        code = main(["bench", "--out", str(tmp_path),
+                     "--series", "2", "--length", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_smoke_v_shape.json" in out
+
     def test_error_reported_not_raised(self, capsys):
         code = main(["query", "--dataset", "sp500",
                      "--query", "PATTERN (((", "--series", "2",

@@ -1,6 +1,7 @@
 """Engine API tests: tables, partitions, results, stats."""
 
 import numpy as np
+import pytest
 
 from repro import TRexEngine, Table, find_matches
 from repro.core.result import QueryResult, SeriesMatches
@@ -61,6 +62,20 @@ class TestExecute:
     def test_stats_populated(self, small_table):
         result = find_matches(small_table, QUERY)
         assert result.stats.get("segments_emitted", 0) > 0
+
+    def test_stats_attributed_per_series(self, small_table):
+        """Each series carries its own counters and wall time; the flat
+        ``result.stats`` view folds them (backward compatibility)."""
+        from collections import Counter
+        result = find_matches(small_table, QUERY)
+        folded = Counter()
+        for entry in result.per_series:
+            assert entry.stats.get("segments_emitted", 0) > 0
+            assert entry.seconds >= 0.0
+            folded.update(entry.stats)
+        assert result.stats == folded
+        assert result.execution_seconds == pytest.approx(
+            sum(entry.seconds for entry in result.per_series), rel=0.1)
 
     def test_matches_sorted_unique(self, small_table):
         result = find_matches(small_table, QUERY)

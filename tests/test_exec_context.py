@@ -104,6 +104,39 @@ class TestProbeCache:
         assert refs_key({"A": (0, 1)}, frozenset({"A", "Z"})) == \
             (("A", (0, 1)),)
 
+    def test_probe_entries_not_shared_across_refs(self):
+        """Two probes at the same (op_id, probe-space) whose referenced
+        segments differ must not share a cache entry: the probed child's
+        condition reads the referenced segment, so a shared entry would
+        return results computed under the wrong binding."""
+        from repro.exec.concat import RightProbeConcat
+        from repro.exec.seggen import SegGenFilter, SegGenWindow
+        from repro.lang.query import VarDef
+        from repro.lang.windows import WindowConjunction, WindowSpec
+        from repro.plan.search_space import SearchSpace
+
+        series = make_series([5, 1, 0, 3])
+        left = SegGenWindow(
+            WindowConjunction([WindowSpec.point(1, 2)]), "L",
+            publish=frozenset({"L"}))
+        right_var = VarDef(
+            "R", False, (WindowSpec.point_fixed(0),),
+            parse_condition("first(R.val) > first(L.val)"),
+            frozenset({"L"}))
+        right = SegGenFilter(right_var, right_var.window_conjunction)
+        op = RightProbeConcat(left, right, 1,
+                              WindowConjunction.wild())
+        ctx = ExecContext(series)
+        got = sorted({seg.bounds
+                      for seg in op.eval(ctx, SearchSpace.full(4), {})})
+        # Lefts (0, 1), (0, 2) and (1, 2): the two ending at index 2
+        # probe the same space (point 3) but under different L bindings,
+        # so every probe must miss the cache and evaluate.
+        assert ctx.stats["probe_calls"] == 3
+        assert ctx.stats["probe_cache_hits"] == 0
+        # Only L = (1, 2) has first(L.val) = 1 < 3 = the probed value.
+        assert got == [(1, 3)]
+
 
 class TestExplainMatch:
     def test_bindings_via_engine(self):

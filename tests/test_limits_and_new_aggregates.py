@@ -100,6 +100,26 @@ class TestLimits:
         full_set = set(full.all_matches())
         assert set(limited.all_matches()) <= full_set
 
+    def test_max_matches_deterministic_across_planners(self):
+        """Truncation keeps the positionally-smallest matches, so every
+        planner returns the same subset despite different emission
+        orders."""
+        query = compile_query(QUERY)
+        series_list = self.make_series_list()
+        full = TRexEngine().execute_query(query, series_list)
+        # Expected: walk series in order, take the sorted prefix until
+        # the cross-series quota runs out.
+        expected, remaining = [], 5
+        for entry in full.per_series:
+            take = sorted(entry.matches)[:remaining]
+            expected.extend((entry.key, s, e) for s, e in take)
+            remaining -= len(take)
+        for planner in ("cost", "batch", "sm_left", "pr_left",
+                        "sm_right", "pr_right"):
+            limited = TRexEngine(optimizer=planner, max_matches=5) \
+                .execute_query(query, series_list)
+            assert limited.all_matches() == expected, planner
+
     def test_timeout_raises(self):
         query = compile_query(QUERY)
         rng = np.random.default_rng(1)

@@ -1,0 +1,100 @@
+"""Regression tests: every operator family must tick() in its hot loop.
+
+A deadline already in the past plus ``TICK_STRIDE = 1`` makes the very
+first ``ctx.tick()`` raise :class:`QueryTimeout`, so these tests fail if
+an operator's merge/probe loop stops calling ``tick()`` (the engine
+deadline would then be silently ignored while that operator runs).  The
+hand-built child operators never tick, so a raised timeout can only come
+from the operator under test.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import QueryTimeout
+from repro.exec.and_or import (LeftProbeAnd, RightProbeAnd, SortMergeAnd,
+                               SortMergeOr)
+from repro.exec.base import ExecContext, PhysicalOperator
+from repro.exec.concat import (LeftProbeConcat, RightProbeConcat,
+                               SortMergeConcat, WildWindowConcat)
+from repro.exec.kleene import MaterializeKleene
+from repro.exec.not_op import MaterializeNot, ProbeNot
+from repro.lang.windows import WindowConjunction, WindowSpec
+from repro.plan.search_space import SearchSpace
+from repro.timeseries.segment import Segment
+
+from tests.conftest import make_series
+
+WILD = WindowConjunction.wild()
+
+SEGMENTS = ((0, 1), (1, 2), (2, 3))
+
+
+class _StaticOp(PhysicalOperator):
+    """Child yielding precomputed segments without ever ticking."""
+
+    name = "Static"
+
+    def __init__(self, bounds=SEGMENTS):
+        super().__init__(WILD)
+        self._bounds = bounds
+
+    def eval(self, ctx, sp, refs):
+        for start, end in self._bounds:
+            if sp.contains(start, end):
+                yield Segment(start, end)
+
+
+def window(lo, hi):
+    return WindowConjunction([WindowSpec.point(lo, hi)])
+
+
+FAMILIES = {
+    "SortMergeConcat":
+        lambda: SortMergeConcat(_StaticOp(), _StaticOp(), 0, WILD),
+    "RightProbeConcat":
+        lambda: RightProbeConcat(_StaticOp(), _StaticOp(), 0, WILD),
+    "LeftProbeConcat":
+        lambda: LeftProbeConcat(_StaticOp(), _StaticOp(), 0, WILD),
+    "WildWindowConcat":
+        lambda: WildWindowConcat(_StaticOp(), _StaticOp(), WILD, WILD),
+    "SortMergeAnd":
+        lambda: SortMergeAnd(_StaticOp(), _StaticOp(), WILD),
+    "RightProbeAnd":
+        lambda: RightProbeAnd(_StaticOp(), _StaticOp(), WILD),
+    "LeftProbeAnd":
+        lambda: LeftProbeAnd(_StaticOp(), _StaticOp(), WILD),
+    "SortMergeOr":
+        lambda: SortMergeOr(_StaticOp(), _StaticOp(), WILD),
+    "MaterializeNot":
+        lambda: MaterializeNot(_StaticOp(), window(1, 2)),
+    "ProbeNot":
+        lambda: ProbeNot(_StaticOp(), window(1, 2)),
+    "MaterializeKleene":
+        lambda: MaterializeKleene(_StaticOp(), 1, None, 0, WILD),
+}
+
+
+def expired_ctx(series):
+    ctx = ExecContext(series, deadline=time.perf_counter() - 1.0)
+    ctx.TICK_STRIDE = 1  # instance attribute shadows the class default
+    return ctx
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+def test_operator_hot_loop_ticks(family):
+    series = make_series([1.0, 2.0, 3.0, 4.0])
+    op = FAMILIES[family]()
+    ctx = expired_ctx(series)
+    with pytest.raises(QueryTimeout):
+        list(op.eval(ctx, SearchSpace.full(len(series)), {}))
+
+
+def test_live_deadline_not_triggered():
+    """Sanity check: a generous deadline lets the same plans finish."""
+    series = make_series([1.0, 2.0, 3.0, 4.0])
+    for family, factory in FAMILIES.items():
+        ctx = ExecContext(series, deadline=time.perf_counter() + 60.0)
+        ctx.TICK_STRIDE = 1
+        list(factory().eval(ctx, SearchSpace.full(len(series)), {}))
