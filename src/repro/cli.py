@@ -36,7 +36,7 @@ from typing import Dict
 from repro.core.engine import TRexEngine
 from repro.datasets import DATASET_SHAPES, load
 from repro.datasets.loader import load_csv
-from repro.errors import TRexError
+from repro.errors import TRexError, exit_code
 from repro.lang.query import compile_query
 from repro.queries import ALL_TEMPLATES, get_template
 
@@ -67,9 +67,30 @@ def _resolve_query(args, params):
     raise SystemExit("provide --template, --query or --query-file")
 
 
+def _engine_options(args) -> Dict[str, object]:
+    """Resilience-related engine options shared by query/explain."""
+    return {
+        "on_error": args.on_error,
+        "max_segments": args.max_segments,
+        "timeout_seconds": args.timeout,
+    }
+
+
+def _warn_degradations(result) -> None:
+    """One-line stderr notes for errors/degradations (docs/ROBUSTNESS.md)."""
+    for error in result.errors:
+        print(f"warning: {error.format()}", file=sys.stderr)
+    if result.interrupted:
+        print(f"warning: partial result ({result.degradation})",
+              file=sys.stderr)
+    if result.planner_fallback:
+        print(f"warning: {result.planner_fallback}", file=sys.stderr)
+
+
 def _resolve_table(args, template):
     if args.csv:
-        return load_csv(args.csv, time_unit=args.time_unit)
+        return load_csv(args.csv, time_unit=args.time_unit,
+                        nan_policy=args.nan_policy)
     dataset = args.dataset or (template.dataset if template else None)
     if dataset is None:
         raise SystemExit("provide --csv or --dataset")
@@ -85,11 +106,13 @@ def cmd_query(args) -> int:
     params = _parse_params(args.param)
     query, template = _resolve_query(args, params)
     table = _resolve_table(args, template)
-    engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing)
+    engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing,
+                        **_engine_options(args))
     t0 = time.perf_counter()
     result = engine.execute_query(
         query, table.partition(query.partition_by, query.order_by))
     elapsed = time.perf_counter() - t0
+    _warn_degradations(result)
     print(result.summary())
     if args.show_plan:
         print("\nPhysical plan:")
@@ -116,8 +139,9 @@ def cmd_explain(args) -> int:
     series_list = table.partition(query.partition_by, query.order_by)
     if args.analyze:
         engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing,
-                            analyze=True)
+                            analyze=True, **_engine_options(args))
         result = engine.execute_query(query, series_list)
+        _warn_degradations(result)
         if args.json:
             print(json.dumps(result.metrics_dict(), indent=2,
                              sort_keys=True))
@@ -254,6 +278,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--optimizer", default="cost")
         p.add_argument("--sharing", default="auto",
                        choices=["auto", "on", "off"])
+        p.add_argument("--on-error", default="raise",
+                       choices=["raise", "skip", "partial"],
+                       help="per-series failure policy (docs/ROBUSTNESS.md)")
+        p.add_argument("--max-segments", type=int, default=None,
+                       metavar="N",
+                       help="abort/degrade once a query materializes more "
+                            "than N segments")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="query deadline covering planning + execution")
+        p.add_argument("--nan-policy", default="allow",
+                       choices=["allow", "raise", "omit"],
+                       help="non-finite value handling for --csv input")
 
     q = sub.add_parser("query", help="run a pattern query")
     add_query_options(q)
@@ -316,8 +353,9 @@ def main(argv=None) -> int:
     try:
         return args.fn(args)
     except TRexError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        message = " ".join(str(error).split())
+        print(f"error: {message}", file=sys.stderr)
+        return exit_code(error)
 
 
 if __name__ == "__main__":

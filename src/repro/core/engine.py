@@ -24,15 +24,18 @@ from __future__ import annotations
 import heapq
 import logging
 import time
-from typing import Dict, List, Optional, Tuple, Union
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.result import QueryResult, SeriesMatches
-from repro.errors import PlanError, QueryLintError
+from repro.core.result import QueryResult, SeriesError, SeriesMatches
+from repro.errors import (PlanError, QueryLintError, QueryTimeout, TRexError,
+                          error_kind)
 from repro.exec.base import ExecContext, PhysicalOperator
 from repro.exec.metrics import RunMetrics, instrument_plan
 from repro.lang.query import Query, compile_query
 from repro.plan.logical import LogicalNode, build_logical_plan
 from repro.plan.search_space import SearchSpace
+from repro.testing import faults as _faults
 from repro.timeseries.series import Series
 from repro.timeseries.table import Table
 
@@ -52,6 +55,57 @@ def _resolve_rule_strategy(label: str):
                     f"{[s.label for s in BASELINE_STRATEGIES_WITH_NOT]}")
 
 
+class _MatchSink:
+    """Incremental, deduplicating collector of match bounds.
+
+    Partial state lives on the instance, so when a fault or budget stops
+    the stream mid-way, :meth:`finish` still yields a sorted,
+    duplicate-free subset of what the uninterrupted run would produce —
+    the invariant the ``'partial'`` error policy guarantees.
+
+    With a ``limit`` the kept subset is the positionally-smallest
+    matches (bounded max-heap): plan emission order differs across
+    optimizers, so keeping the first N emitted would silently return
+    different subsets for the same query.
+    """
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self._seen: set = set()
+        self._matches: List[Tuple[int, int]] = []
+        self._heap: List[Tuple[int, int]] = []  # max-heap via negated bounds
+
+    def consume(self, segments: Iterable, ctx: ExecContext) -> None:
+        limit = self.limit
+        charge = ctx.segment_budget is not None
+        if limit is None:
+            for segment in segments:
+                bounds = segment.bounds
+                if bounds not in self._seen:
+                    if charge:
+                        ctx.charge()
+                    self._seen.add(bounds)
+                    self._matches.append(bounds)
+            return
+        for segment in segments:
+            bounds = segment.bounds
+            if bounds in self._seen:
+                continue
+            if charge:
+                ctx.charge()
+            self._seen.add(bounds)
+            item = (-bounds[0], -bounds[1])
+            if len(self._heap) < limit:
+                heapq.heappush(self._heap, item)
+            elif item > self._heap[0]:
+                heapq.heapreplace(self._heap, item)
+
+    def finish(self) -> List[Tuple[int, int]]:
+        if self.limit is None:
+            return sorted(self._matches)
+        return sorted((-s, -e) for s, e in self._heap)
+
+
 class TRexEngine:
     """Pattern-search engine over historical time series."""
 
@@ -60,18 +114,31 @@ class TRexEngine:
                  timeout_seconds: Optional[float] = None,
                  max_matches: Optional[int] = None,
                  lint: bool = False,
-                 analyze: bool = False):
+                 analyze: bool = False,
+                 on_error: str = "raise",
+                 max_segments: Optional[int] = None,
+                 planning_timeout_seconds: Optional[float] = None):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
+        if on_error not in ("raise", "skip", "partial"):
+            raise PlanError(f"on_error must be 'raise', 'skip' or "
+                            f"'partial', got {on_error!r}")
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise PlanError("timeout_seconds must be positive")
         if max_matches is not None and max_matches <= 0:
             raise PlanError("max_matches must be positive")
+        if max_segments is not None and max_segments <= 0:
+            raise PlanError("max_segments must be positive")
+        if planning_timeout_seconds is not None \
+                and planning_timeout_seconds <= 0:
+            raise PlanError("planning_timeout_seconds must be positive")
         self.optimizer = optimizer
         self.sharing = sharing
-        #: Wall-clock budget for one execute_query() call; exceeding it
-        #: raises :class:`repro.errors.QueryTimeout`.
+        #: Wall-clock budget for one execute_query() call, planning
+        #: included.  Exceeding it raises
+        #: :class:`repro.errors.QueryTimeout` under ``on_error='raise'``
+        #: or degrades gracefully otherwise (docs/ROBUSTNESS.md).
         self.timeout_seconds = timeout_seconds
         #: Stop after this many matches across all series; the kept
         #: subset is the positionally-smallest matches, so it is
@@ -84,6 +151,23 @@ class TRexEngine:
         #: EXPLAIN ANALYZE mode: collect per-operator runtime metrics on
         #: the result (``QueryResult.op_metrics`` / ``plan_analyze``).
         self.analyze = analyze
+        #: Error policy: ``'raise'`` propagates the first failure
+        #: (byte-identical to the pre-policy engine); ``'skip'`` records
+        #: a :class:`SeriesError` and drops the failing series' matches;
+        #: ``'partial'`` additionally keeps the matches found before the
+        #: failure.  See the policy matrix in docs/ROBUSTNESS.md.
+        self.on_error = on_error
+        #: Query-global budget on materialized/retained segments (a
+        #: memory proxy), enforced via :meth:`ExecContext.charge` in the
+        #: materializing operators and the result sink.
+        self.max_segments = max_segments
+        #: Separate budget for cost-based planning only; exhausting it
+        #: triggers the rule-based (``pr_left``) planner fallback
+        #: instead of failing the query.
+        self.planning_timeout_seconds = planning_timeout_seconds
+        #: Reason string for the most recent build_plan() fallback, or
+        #: None when the requested planner was used.
+        self.last_planner_fallback: Optional[str] = None
 
     def _lint_query(self, query: Query) -> None:
         from repro.analysis import analyze
@@ -99,29 +183,65 @@ class TRexEngine:
 
     # -- planning -------------------------------------------------------------
 
+    #: Rule strategy used when the cost-based planner fails (a safe,
+    #: data-independent left-deep probe plan).
+    FALLBACK_STRATEGY = "pr_left"
+
     def build_plan(self, query: Query, logical: LogicalNode,
-                   series_list: List[Series]) -> PhysicalOperator:
+                   series_list: List[Series],
+                   deadline: Optional[float] = None,
+                   planning_deadline: Optional[float] = None) \
+            -> PhysicalOperator:
         """Build the physical plan used for every series of the query.
 
         Rule-based strategies are data-independent; the cost-based planner
-        samples statistics from ``series_list`` (Appendix D.3).
+        samples statistics from ``series_list`` (Appendix D.3) under the
+        given time budgets.  If the cost-based planner raises anything
+        but a :class:`QueryTimeout` (a planner bug, an injected fault, a
+        blown planning budget), the engine falls back to the
+        :attr:`FALLBACK_STRATEGY` rule plan and records the reason in
+        :attr:`last_planner_fallback`.
         """
         from repro.optimizer.rulebased import RuleBasedPlanner, RuleStrategy
 
+        self.last_planner_fallback = None
         sharing = self.sharing
         optimizer = self.optimizer
+        leaf_sharing = "off" if sharing == "off" else "on"
         if isinstance(optimizer, RuleStrategy) or (
                 isinstance(optimizer, str)
                 and optimizer not in ("cost", "batch")):
             strategy = optimizer if isinstance(optimizer, RuleStrategy) \
                 else _resolve_rule_strategy(optimizer)
-            leaf_sharing = "off" if sharing == "off" else "on"
             return RuleBasedPlanner(strategy, sharing=leaf_sharing).plan(
                 query, logical)
         from repro.optimizer.planner import CostBasedPlanner
         planner = CostBasedPlanner(
             allow_probes=(optimizer != "batch"), sharing=sharing)
-        return planner.plan(query, logical, series_list)
+        try:
+            return planner.plan(query, logical, series_list,
+                                deadline=deadline,
+                                planning_deadline=planning_deadline)
+        except QueryTimeout:
+            # The whole query is out of time; a fallback plan could not
+            # execute anyway.  Handled by the engine's error policy.
+            raise
+        except Exception as exc:
+            reason = (f"cost-based planner failed "
+                      f"({type(exc).__name__}: {exc}); "
+                      f"fell back to rule strategy "
+                      f"{self.FALLBACK_STRATEGY!r}")
+            _logger.warning("planner fallback: %s", reason)
+            strategy = _resolve_rule_strategy(self.FALLBACK_STRATEGY)
+            try:
+                plan = RuleBasedPlanner(strategy, sharing=leaf_sharing).plan(
+                    query, logical)
+            except Exception:
+                # Both planners reject the query: surface the original
+                # cost-planner error, which names the root cause.
+                raise exc
+            self.last_planner_fallback = reason
+            return plan
 
     def plan_for_series(self, query: Query, logical: LogicalNode,
                         series: Series) -> PhysicalOperator:
@@ -153,39 +273,86 @@ class TRexEngine:
             result.per_series = [SeriesMatches(series.key, [])
                                  for series in series_list]
             return result
+        # The deadline starts *before* planning so pathological planning
+        # (and the DP/sampling inside it) cannot blow the query budget.
         t0 = time.perf_counter()
-        plan = self.build_plan(query, logical, non_empty)
+        deadline = None
+        if self.timeout_seconds is not None:
+            deadline = t0 + self.timeout_seconds
+        planning_deadline = None
+        if self.planning_timeout_seconds is not None:
+            planning_deadline = t0 + self.planning_timeout_seconds
+        try:
+            plan = self.build_plan(query, logical, non_empty,
+                                   deadline=deadline,
+                                   planning_deadline=planning_deadline)
+        except QueryTimeout as exc:
+            if self.on_error == "raise":
+                raise
+            result.planning_seconds = time.perf_counter() - t0
+            result.interrupted = True
+            result.degradation = f"timeout: {exc}"
+            result.per_series = [SeriesMatches(series.key, [])
+                                 for series in series_list]
+            return result
         t1 = time.perf_counter()
         result.planning_seconds = t1 - t0
         result.plan_explain = plan.explain()
-        deadline = None
-        if self.timeout_seconds is not None:
-            deadline = t1 + self.timeout_seconds
+        result.planner_fallback = self.last_planner_fallback
         # Analyze mode evaluates an instrumented shallow copy; the
         # original plan is untouched, so disabled mode pays nothing.
         exec_plan = instrument_plan(plan) if self.analyze else plan
         total_metrics = RunMetrics() if self.analyze else None
         exec_seconds = 0.0
         remaining = self.max_matches
+        seg_remaining = self.max_segments
+        stopped = False
         for series in series_list:
-            if len(series) == 0 or (remaining is not None and remaining <= 0):
+            if stopped or len(series) == 0 \
+                    or (remaining is not None and remaining <= 0):
                 result.per_series.append(SeriesMatches(series.key, []))
                 continue
             t2 = time.perf_counter()
-            matches, ctx = self._run_plan(exec_plan, series, query,
-                                          deadline=deadline,
-                                          limit=remaining,
-                                          collect_metrics=self.analyze)
+            matches, ctx, error = self._execute_series(
+                exec_plan, series, query, deadline=deadline,
+                limit=remaining, segment_budget=seg_remaining)
             seconds = time.perf_counter() - t2
             exec_seconds += seconds
-            if ctx.metrics is not None:
+            if ctx is not None and ctx.metrics is not None:
                 ctx.metrics.finalize(plan)
+            entry = SeriesMatches(
+                series.key, matches,
+                stats=ctx.stats if ctx is not None else Counter(),
+                seconds=seconds,
+                metrics=ctx.metrics if ctx is not None else None)
+            if error is not None:
+                kind = error_kind(error)
+                keep_partial = self.on_error == "partial"
+                if not keep_partial:
+                    entry.matches = []
+                entry.error = SeriesError(
+                    series.key, type(error).__name__,
+                    " ".join(str(error).split()), kind,
+                    partial=keep_partial and bool(entry.matches))
+                if kind in ("timeout", "budget"):
+                    # A blown budget is global: stop, return what we have.
+                    result.interrupted = True
+                    result.degradation = f"{kind}: {entry.error.message}"
+                    stopped = True
             if remaining is not None:
-                remaining -= len(matches)
-            result.per_series.append(SeriesMatches(
-                series.key, matches, stats=ctx.stats, seconds=seconds,
-                metrics=ctx.metrics))
-            if total_metrics is not None and ctx.metrics is not None:
+                remaining -= len(entry.matches)
+            if seg_remaining is not None and ctx is not None:
+                seg_remaining = max(0, seg_remaining - ctx.segments_charged)
+                if seg_remaining == 0 and not stopped \
+                        and self.on_error != "raise":
+                    result.interrupted = True
+                    result.degradation = (
+                        f"budget: max_segments={self.max_segments} "
+                        f"consumed")
+                    stopped = True
+            result.per_series.append(entry)
+            if total_metrics is not None and ctx is not None \
+                    and ctx.metrics is not None:
                 total_metrics.merge(ctx.metrics)
         result.execution_seconds = exec_seconds
         if total_metrics is not None:
@@ -193,6 +360,10 @@ class TRexEngine:
             result.op_metrics = total_metrics
             result.plan_analyze = total_metrics.annotate(plan)
             result.analyze_tree = total_metrics.tree_dict(plan)
+            if result.planner_fallback:
+                result.plan_analyze = (
+                    f"!! planner fallback: {result.planner_fallback}\n"
+                    + result.plan_analyze)
         return result
 
     def explain_match(self, query: Query, series: Series, start: int,
@@ -210,38 +381,51 @@ class TRexEngine:
     def _run_plan(self, plan: PhysicalOperator, series: Series,
                   query: Query, deadline: Optional[float] = None,
                   limit: Optional[int] = None,
-                  collect_metrics: bool = False) \
+                  collect_metrics: bool = False,
+                  segment_budget: Optional[int] = None) \
             -> Tuple[List[Tuple[int, int]], ExecContext]:
+        """Evaluate ``plan`` over one series; exceptions propagate."""
         ctx = ExecContext(series, query.registry, deadline=deadline,
-                          metrics=RunMetrics() if collect_metrics else None)
-        sp = SearchSpace.full(len(series))
-        seen = set()
-        matches: List[Tuple[int, int]] = []
-        if limit is None:
-            for segment in plan.eval(ctx, sp, {}):
-                bounds = segment.bounds
-                if bounds not in seen:
-                    seen.add(bounds)
-                    matches.append(bounds)
-            matches.sort()
-            return matches, ctx
-        # Truncation keeps the `limit` positionally-smallest matches so
-        # the subset is deterministic: plan emission order differs across
-        # optimizers, so keeping the first N emitted would silently return
-        # different subsets for the same query.
-        heap: List[Tuple[int, int]] = []  # max-heap via negated bounds
-        for segment in plan.eval(ctx, sp, {}):
-            bounds = segment.bounds
-            if bounds in seen:
-                continue
-            seen.add(bounds)
-            item = (-bounds[0], -bounds[1])
-            if len(heap) < limit:
-                heapq.heappush(heap, item)
-            elif item > heap[0]:
-                heapq.heapreplace(heap, item)
-        matches = sorted((-s, -e) for s, e in heap)
-        return matches, ctx
+                          metrics=RunMetrics() if collect_metrics else None,
+                          segment_budget=segment_budget)
+        sink = _MatchSink(limit)
+        sink.consume(plan.eval(ctx, SearchSpace.full(len(series)), {}), ctx)
+        return sink.finish(), ctx
+
+    def _execute_series(self, plan: PhysicalOperator, series: Series,
+                        query: Query, deadline: Optional[float],
+                        limit: Optional[int],
+                        segment_budget: Optional[int]) \
+            -> Tuple[List[Tuple[int, int]], Optional[ExecContext],
+                     Optional[BaseException]]:
+        """Run the plan over one series under the engine's error policy.
+
+        Under ``'raise'`` exceptions propagate untouched; otherwise the
+        failure is captured and the sink's partial harvest (sorted,
+        duplicate-free — a subset of the clean run's matches) is
+        returned alongside it.
+        """
+        guarded = self.on_error != "raise"
+        ctx: Optional[ExecContext] = None
+        error: Optional[BaseException] = None
+        sink = _MatchSink(limit)
+        try:
+            if _faults.ENABLED:
+                _faults.fire("data.series")
+            ctx = ExecContext(series, query.registry, deadline=deadline,
+                              metrics=RunMetrics() if self.analyze else None,
+                              segment_budget=segment_budget)
+            sink.consume(plan.eval(ctx, SearchSpace.full(len(series)), {}),
+                         ctx)
+        except Exception as exc:  # noqa: BLE001 — policy-gated isolation
+            if not guarded:
+                raise
+            error = exc
+            if not isinstance(exc, TRexError):
+                _logger.exception("series %s failed with a non-library "
+                                  "error (isolated by on_error=%r)",
+                                  series.key, self.on_error)
+        return sink.finish(), ctx, error
 
 
 def find_matches(table: Table, query_text: str,

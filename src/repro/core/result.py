@@ -19,6 +19,39 @@ from repro.exec.metrics import RunMetrics
 
 
 @dataclass
+class SeriesError:
+    """A structured record of one series' failure (error-policy modes).
+
+    ``kind`` is the coarse classification of
+    :func:`repro.errors.error_kind` — ``'timeout'`` and ``'budget'`` are
+    degradations that interrupt the whole query, everything else is an
+    isolated per-series fault.  ``partial`` marks that the matches kept
+    alongside this error are an incomplete (but sorted, duplicate-free)
+    subset of what a clean run would have produced.
+    """
+
+    key: tuple
+    error: str      # exception class name, e.g. 'QueryTimeout'
+    message: str
+    kind: str       # see repro.errors.error_kind
+    partial: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "error": self.error,
+            "message": self.message,
+            "kind": self.kind,
+            "partial": self.partial,
+        }
+
+    def format(self) -> str:
+        suffix = " (partial matches kept)" if self.partial else ""
+        label = "/".join(str(part) for part in self.key) or "-"
+        return f"series {label}: {self.error}: {self.message}{suffix}"
+
+
+@dataclass
 class SeriesMatches:
     """All matches found in one series, with per-series diagnostics."""
 
@@ -30,6 +63,9 @@ class SeriesMatches:
     seconds: float = 0.0
     #: Per-operator metrics for this series (analyze mode only).
     metrics: Optional[RunMetrics] = None
+    #: Structured failure record when this series did not complete
+    #: cleanly under an ``on_error='skip'|'partial'`` policy.
+    error: Optional[SeriesError] = None
 
     def __len__(self) -> int:
         return len(self.matches)
@@ -49,6 +85,20 @@ class QueryResult:
     plan_analyze: str = ""
     #: JSON-ready plan tree with per-node metrics (analyze mode only).
     analyze_tree: Optional[dict] = None
+    #: The query stopped early (timeout or resource budget) and the
+    #: matches are the graceful-degradation subset; ``degradation``
+    #: carries the human-readable reason.
+    interrupted: bool = False
+    degradation: Optional[str] = None
+    #: Set when the cost-based planner failed and the engine fell back
+    #: to a rule-based strategy (docs/ROBUSTNESS.md).
+    planner_fallback: Optional[str] = None
+
+    @property
+    def errors(self) -> List[SeriesError]:
+        """Structured per-series failures (``on_error='skip'|'partial'``)."""
+        return [entry.error for entry in self.per_series
+                if entry.error is not None]
 
     @property
     def stats(self) -> Counter:
@@ -92,6 +142,7 @@ class QueryResult:
             "total_matches": self.total_matches,
             "planning_seconds": self.planning_seconds,
             "execution_seconds": self.execution_seconds,
+            "interrupted": self.interrupted,
             "stats": dict(self.stats),
             "per_series": [
                 {
@@ -99,10 +150,19 @@ class QueryResult:
                     "matches": len(entry),
                     "seconds": entry.seconds,
                     "stats": dict(entry.stats),
+                    **({"error": entry.error.to_dict()}
+                       if entry.error is not None else {}),
                 }
                 for entry in self.per_series
             ],
         }
+        if self.degradation is not None:
+            data["degradation"] = self.degradation
+        if self.planner_fallback is not None:
+            data["planner_fallback"] = self.planner_fallback
+        errors = self.errors
+        if errors:
+            data["errors"] = [error.to_dict() for error in errors]
         if self.analyze_tree is not None:
             data["plan"] = self.analyze_tree
         if self.op_metrics is not None:
@@ -110,7 +170,13 @@ class QueryResult:
         return data
 
     def summary(self) -> str:
-        return (f"{self.total_matches} matches over "
+        text = (f"{self.total_matches} matches over "
                 f"{len(self.per_series)} series in "
                 f"{self.total_seconds:.3f}s "
                 f"(planning {self.planning_seconds:.3f}s)")
+        errors = self.errors
+        if errors:
+            text += f" [{len(errors)} series error(s)]"
+        if self.interrupted:
+            text += f" [interrupted: {self.degradation}]"
+        return text

@@ -25,12 +25,17 @@ def _try_float(value: str) -> Optional[float]:
 
 
 def load_csv(path: str, delimiter: str = ",", time_unit: str = "DAY",
-             columns: Optional[Sequence[str]] = None) -> Table:
+             columns: Optional[Sequence[str]] = None,
+             nan_policy: str = "allow") -> Table:
     """Read a CSV file with a header row into a Table.
 
     ``columns`` optionally restricts which header columns are kept.  A
     column is numeric if every non-empty cell parses as a float; empty
-    cells in numeric columns become NaN.
+    cells in numeric columns become NaN.  ``nan_policy`` decides what
+    happens to such non-finite values when the table is partitioned into
+    series: ``'allow'`` keeps them, ``'raise'`` rejects the data with a
+    :class:`DataError`, ``'omit'`` masks the offending rows
+    (docs/ROBUSTNESS.md).
     """
     with open(path, newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
@@ -67,7 +72,7 @@ def load_csv(path: str, delimiter: str = ",", time_unit: str = "DAY",
             table_columns[name] = np.asarray(cells, dtype=object)
     if not table_columns:
         raise DataError(f"{path}: no columns selected")
-    return Table(table_columns, time_unit=time_unit)
+    return Table(table_columns, time_unit=time_unit, nan_policy=nan_policy)
 
 
 def save_csv(table: Table, path: str, delimiter: str = ",") -> None:

@@ -55,6 +55,15 @@ class PlanError(TRexError):
     """
 
 
+class PlanningBudgetExceeded(PlanError):
+    """Cost-based planning exceeded its dedicated time budget.
+
+    Raised only when the engine runs with ``planning_timeout_seconds``;
+    the engine reacts by falling back to a rule-based strategy, so this
+    error normally never reaches callers.
+    """
+
+
 class ExecutionError(TRexError):
     """A physical operator failed while evaluating a query."""
 
@@ -63,9 +72,67 @@ class QueryTimeout(ExecutionError):
     """Query execution exceeded the engine's deadline."""
 
 
+class ResourceBudgetExceeded(ExecutionError):
+    """A resource budget (``max_segments``) was exhausted mid-query.
+
+    Under the default ``on_error='raise'`` policy this propagates; under
+    ``'skip'``/``'partial'`` the engine converts it into a degraded
+    :class:`~repro.core.result.QueryResult` (see docs/ROBUSTNESS.md).
+    """
+
+
 class DataError(TRexError):
     """Input data is malformed (unsorted timestamps, ragged columns, ...)."""
 
 
 class AggregateError(TRexError):
     """An aggregate was called with invalid arguments or is unknown."""
+
+
+#: CLI exit code per error family (first match wins along the MRO, so
+#: subclasses like :class:`QueryTimeout` take precedence over their bases).
+#: Codes 3..9 avoid 1 (generic failure) and 2 (argparse usage errors).
+_EXIT_CODES = (
+    (QuerySyntaxError, 3),
+    (BindError, 4),          # includes QueryLintError
+    (QueryTimeout, 8),
+    (ResourceBudgetExceeded, 8),
+    (PlanError, 5),          # includes PlanningBudgetExceeded
+    (DataError, 6),
+    (AggregateError, 9),
+    (ExecutionError, 7),
+    (TRexError, 1),
+)
+
+
+def exit_code(error: BaseException) -> int:
+    """Distinct process exit code for a :class:`TRexError` subclass."""
+    for cls in type(error).__mro__:
+        for family, code in _EXIT_CODES:
+            if cls is family:
+                return code
+    return 1
+
+
+def error_kind(error: BaseException) -> str:
+    """Coarse failure classification used by the error-policy machinery.
+
+    ``'timeout'`` and ``'budget'`` are *degradations* (the engine stops
+    and returns what it has); everything else is a per-series *fault*
+    that the ``'skip'``/``'partial'`` policies isolate to one series.
+    """
+    if isinstance(error, QueryTimeout):
+        return "timeout"
+    if isinstance(error, ResourceBudgetExceeded):
+        return "budget"
+    if isinstance(error, DataError):
+        return "data"
+    if isinstance(error, AggregateError):
+        return "aggregate"
+    if isinstance(error, (QuerySyntaxError, BindError)):
+        return "bind"
+    if isinstance(error, PlanError):
+        return "plan"
+    if isinstance(error, TRexError):
+        return "execution"
+    return "internal"

@@ -61,6 +61,8 @@ class SortMergeAnd(_BinaryAnd):
             by_bounds: Dict[Tuple[int, int], List[Segment]] = defaultdict(list)
             for left in self.left.eval(ctx, sp, refs):
                 ctx.tick()
+                if ctx.segment_budget is not None:
+                    ctx.charge()
                 by_bounds[left.bounds].append(left)
             if not by_bounds:
                 return  # early termination

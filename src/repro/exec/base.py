@@ -12,6 +12,7 @@ sharing), probe-result caches, and run-statistics counters.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import time
 from abc import ABC, abstractmethod
@@ -21,7 +22,8 @@ from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional,
 
 from repro.aggregates.base import Aggregate, AggregateIndex
 from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
-from repro.errors import ExecutionError, QueryTimeout
+from repro.errors import ExecutionError, QueryTimeout, ResourceBudgetExceeded
+from repro.testing import faults as _faults
 from repro.lang import expr as E
 from repro.lang.windows import WindowConjunction
 from repro.plan.search_space import SearchSpace
@@ -59,7 +61,10 @@ class IndexedProvider(E.AggregateProvider):
             extra = tuple(E.as_number(E.evaluate(e, ectx)) for e in call.extra)
             index = self._ctx.aggregate_index(agg, call, extra)
             self._ctx.stats["index_lookups"] += 1
-            return index.lookup(ectx.start, ectx.end)
+            value = index.lookup(ectx.start, ectx.end)
+            if _faults.ENABLED:
+                value = _faults.fire("aggregate.lookup", value)
+            return value
         self._ctx.stats["direct_agg_evals"] += 1
         return super().evaluate(agg, call, ectx, segments)
 
@@ -85,7 +90,8 @@ class ExecContext:
     def __init__(self, series: Series,
                  registry: AggregateRegistry = DEFAULT_REGISTRY,
                  deadline: Optional[float] = None,
-                 metrics: Optional["RunMetrics"] = None):
+                 metrics: Optional["RunMetrics"] = None,
+                 segment_budget: Optional[int] = None):
         self.series = series
         self.registry = registry
         self.stats: Counter = Counter()
@@ -98,6 +104,13 @@ class ExecContext:
         self._ticks = 0
         #: Per-operator metric sink (EXPLAIN ANALYZE); None when disabled.
         self.metrics = metrics
+        #: Remaining segment/materialization budget, or None for no limit.
+        #: Hot loops guard their charge() calls with an
+        #: ``is not None`` check so the disabled mode pays nothing.
+        self.segment_budget = segment_budget
+        #: Segments charged against the budget so far (engine-accounted
+        #: across series when the budget is global to a query).
+        self.segments_charged = 0
 
     def count(self, op: "PhysicalOperator", name: str, n: int = 1) -> None:
         """Attribute a named event to ``op`` (no-op unless analyzing)."""
@@ -117,6 +130,21 @@ class ExecContext:
                 time.perf_counter() > self.deadline:
             raise QueryTimeout(
                 f"query exceeded its deadline after {self._ticks} steps")
+
+    def charge(self, n: int = 1) -> None:
+        """Charge ``n`` materialized/retained segments against the budget.
+
+        The budget is a memory-pressure proxy: operators call this
+        wherever segments accumulate in collections whose size is not
+        bounded a priori (MaterializeNot/MaterializeKleene state, probe
+        and sub-pattern caches, the engine's result sink).
+        """
+        self.segments_charged += n
+        if self.segment_budget is not None \
+                and self.segments_charged > self.segment_budget:
+            raise ResourceBudgetExceeded(
+                f"query exceeded max_segments={self.segment_budget} "
+                f"({self.segments_charged} segments materialized)")
 
     def aggregate_index(self, agg: Aggregate, call: E.AggCall,
                         extra: Tuple[float, ...]) -> AggregateIndex:
@@ -147,6 +175,8 @@ class ExecContext:
         return self._probe_caches.get(key)
 
     def probe_cache_put(self, key: tuple, value: List[Segment]) -> None:
+        if self.segment_budget is not None:
+            self.charge(len(value))
         self._probe_caches[key] = value
 
 
@@ -154,6 +184,29 @@ def refs_key(refs: Env, needed: FrozenSet[str]) -> tuple:
     """Hashable cache-key projection of ``refs`` to the needed names."""
     return tuple(sorted((name, refs[name]) for name in needed
                         if name in refs))
+
+
+def _with_fault_point(eval_fn):
+    """Wrap an operator class's ``eval`` with its named fault point.
+
+    The wrapper is a plain function (not a generator), so a raising
+    fault fires at the ``eval()`` call itself — before any iteration —
+    matching where a real construction-time operator bug would surface.
+    """
+    @functools.wraps(eval_fn)
+    def eval(self, ctx, sp, refs):
+        if _faults.ENABLED:
+            # Resolved from the *instance's* class so operators that
+            # inherit eval (e.g. SegGenFilter from _ConditionLeaf) still
+            # get their own exec.<OpName>.eval point.
+            klass = type(self)
+            _faults.fire(
+                f"exec.{getattr(klass, 'name', None) or klass.__name__}"
+                f".eval")
+        return eval_fn(self, ctx, sp, refs)
+
+    eval._fault_wrapped = True  # type: ignore[attr-defined]
+    return eval
 
 
 class PhysicalOperator(ABC):
@@ -180,6 +233,19 @@ class PhysicalOperator(ABC):
         self.publish = publish
         self.requires = requires
         self.op_id = next(_op_ids)
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Give every concrete operator class a named fault point.
+
+        ``eval`` is wrapped once at class-creation time so chaos tests
+        can inject at ``exec.<OpName>.eval`` (see repro.testing.faults);
+        disarmed, the wrapper is one module-flag check per eval call.
+        """
+        super().__init_subclass__(**kwargs)
+        eval_fn = cls.__dict__.get("eval")
+        if eval_fn is not None and not getattr(eval_fn, "_fault_wrapped",
+                                               False):
+            cls.eval = _with_fault_point(eval_fn)
 
     @abstractmethod
     def eval(self, ctx: ExecContext, sp: SearchSpace,

@@ -73,6 +73,8 @@ class SortMergeConcat(_BinaryConcat):
             by_end: Dict[int, List[Segment]] = defaultdict(list)
             for left in self.left.eval(ctx, sp.concat_left(self.gap), refs):
                 ctx.tick()
+                if ctx.segment_budget is not None:
+                    ctx.charge()
                 by_end[left.end].append(left)
             if not by_end:
                 return  # early termination: no need to evaluate the right

@@ -66,6 +66,8 @@ class MaterializeKleene(PhysicalOperator):
                 # A zero-duration link makes no progress under shared
                 # boundaries; skip it to guarantee termination.
                 continue
+            if ctx.segment_budget is not None:
+                ctx.charge()
             by_start[segment.start].append(segment.end)
 
         series = ctx.series
@@ -107,6 +109,10 @@ class MaterializeKleene(PhysicalOperator):
                         continue
                     state = (next_end, reps + 1)
                     if state not in visited:
+                        # Chain states are the memory hot spot (O(n·reps)
+                        # of them can exist); charge them like segments.
+                        if ctx.segment_budget is not None:
+                            ctx.charge()
                         visited.add(state)
                         queue.append(state)
 

@@ -46,6 +46,8 @@ class MaterializeNot(_NotBase):
         matched: Set[Tuple[int, int]] = set()
         for segment in self.child.eval(ctx, sp, refs):
             ctx.tick()
+            if ctx.segment_budget is not None:
+                ctx.charge()
             matched.add(segment.bounds)
         for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
                                               sp.e_lo, sp.e_hi):

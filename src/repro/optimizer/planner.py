@@ -26,6 +26,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import PlanError
+from repro.testing import faults as _faults
 from repro.exec.base import PhysicalOperator
 from repro.lang.query import Query, VarDef
 from repro.optimizer import costmodel as CM
@@ -36,7 +37,8 @@ from repro.optimizer.construct import (LEAF_FILTER, LEAF_INDEXING,
                                        validate_scoping, var_is_indexable)
 from repro.optimizer.cost_params import (DEFAULT_COST_PARAMS, CostParams,
                                          expected_distinct)
-from repro.optimizer.stats import StatsCatalog, collect_stats
+from repro.optimizer.stats import (StatsCatalog, check_deadlines,
+                                   collect_stats)
 from repro.plan.logical import (LAnd, LConcat, LKleene, LNot, LOr, LVar,
                                 LogicalNode, build_logical_plan)
 from repro.timeseries.series import Series
@@ -94,18 +96,30 @@ class CostBasedPlanner:
         self._bounds_cache: Dict[int, CM.Bounds] = {}
         self.last_estimated_cost: float = 0.0
         self.last_stats: Optional[StatsCatalog] = None
+        # Absolute perf_counter() budgets for one plan() call; the DP
+        # consults them every _BUDGET_STRIDE _optimize() entries so a
+        # pathological search cannot outlive the engine's deadline.
+        self._deadline: Optional[float] = None
+        self._planning_deadline: Optional[float] = None
+        self._budget_ticks = 0
+
+    #: _optimize() entries between deadline checks.
+    _BUDGET_STRIDE = 64
 
     # -- entry points ---------------------------------------------------------
 
     def plan(self, query: Query, logical: Optional[LogicalNode],
-             series) -> PhysicalOperator:
+             series, deadline: Optional[float] = None,
+             planning_deadline: Optional[float] = None) -> PhysicalOperator:
         if logical is None:
             logical = build_logical_plan(query)
         validate_scoping(query, logical)
         series_list = [series] if isinstance(series, Series) else list(series)
         if not series_list:
             raise PlanError("planner needs at least one series")
-        candidate = self.optimize(query, logical, series_list)
+        candidate = self.optimize(query, logical, series_list,
+                                  deadline=deadline,
+                                  planning_deadline=planning_deadline)
         result = candidate.build()
         result = self._construction.apply_filter(result, logical.window)
         if result.lifted:
@@ -121,13 +135,21 @@ class CostBasedPlanner:
         return result.op
 
     def optimize(self, query: Query, logical: LogicalNode,
-                 series_list: Sequence[Series]) -> Candidate:
+                 series_list: Sequence[Series],
+                 deadline: Optional[float] = None,
+                 planning_deadline: Optional[float] = None) -> Candidate:
         """Run the DP and return the best root candidate (with its cost)."""
+        if _faults.ENABLED:
+            _faults.fire("planner.dp")
+        self._deadline = deadline
+        self._planning_deadline = planning_deadline
+        self._budget_ticks = 0
         self._query = query
         self._stats = collect_stats(
             query, series_list, num_series=self.num_series,
             segments_per_var=self.segments_per_var, seed=self.seed,
-            use_index=self.sharing != "off")
+            use_index=self.sharing != "off",
+            deadline=deadline, planning_deadline=planning_deadline)
         self.last_stats = self._stats
         rng = np.random.default_rng(self.seed)
         index = int(rng.integers(0, len(series_list)))
@@ -202,6 +224,12 @@ class CostBasedPlanner:
 
     def _optimize(self, node: LogicalNode, ls: float, le: float,
                   available: FrozenSet[str]) -> Candidate:
+        self._budget_ticks += 1
+        if self._budget_ticks % self._BUDGET_STRIDE == 0 and (
+                self._deadline is not None
+                or self._planning_deadline is not None):
+            check_deadlines(self._deadline, self._planning_deadline,
+                            where="cost-based DP")
         key = (node.node_id, int(ls), int(le), available)
         hit = self._memo.get(key)
         if hit is not None:

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.errors import PlanningBudgetExceeded, QueryTimeout
 from repro.exec.base import ExecContext
 from repro.lang import expr as E
 from repro.lang.query import Query, VarDef
@@ -25,6 +26,24 @@ from repro.timeseries.series import Series
 
 #: Selectivity assumed for conditions that cannot be sampled standalone.
 DEFAULT_REFERENCE_SELECTIVITY = 0.5
+
+
+def check_deadlines(deadline, planning_deadline, where: str = "planning"):
+    """Raise if a planning-phase time budget has been exceeded.
+
+    The planning-only budget raises :class:`PlanningBudgetExceeded`
+    (which the engine converts into a rule-based fallback); the global
+    query deadline raises :class:`QueryTimeout` (no fallback — the whole
+    query is out of time).
+    """
+    if deadline is None and planning_deadline is None:
+        return
+    now = time.perf_counter()
+    if planning_deadline is not None and now > planning_deadline:
+        raise PlanningBudgetExceeded(
+            f"planning budget exhausted during {where}")
+    if deadline is not None and now > deadline:
+        raise QueryTimeout(f"query deadline exceeded during {where}")
 
 
 @dataclass(frozen=True)
@@ -85,7 +104,8 @@ def _sample_segments(series: Series, var: VarDef, rng: np.random.Generator,
 def collect_stats(query: Query, series_list: Sequence[Series],
                   num_series: int = 5, segments_per_var: int = 64,
                   seed: int = 7,
-                  use_index: bool = True) -> StatsCatalog:
+                  use_index: bool = True,
+                  deadline=None, planning_deadline=None) -> StatsCatalog:
     """Sample ``Sel_{P|w}`` and average segment length for every variable."""
     t0 = time.perf_counter()
     rng = np.random.default_rng(seed)
@@ -121,12 +141,17 @@ def collect_stats(query: Query, series_list: Sequence[Series],
         for series in chosen:
             if len(series) == 0:
                 continue
+            check_deadlines(deadline, planning_deadline,
+                            where="selectivity sampling")
             ctx = ExecContext(series, query.registry)
             provider = ctx.indexed_provider if use_index \
                 else ctx.direct_provider
             for start, end in _sample_segments(series, var, rng,
                                                segments_per_var):
                 total += 1
+                if total % 16 == 0:
+                    check_deadlines(deadline, planning_deadline,
+                                    where="selectivity sampling")
                 lengths.append(end - start + 1)
                 ectx = E.EvalContext(series, start, end, variable=name,
                                      refs={}, provider=provider,

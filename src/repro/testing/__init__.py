@@ -1,0 +1,14 @@
+"""Testing utilities shipped with the library (fault injection)."""
+
+from repro.testing.faults import (FaultSpec, InjectedFault, arm, disarm,
+                                  disarm_all, inject, install_from_env)
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "arm",
+    "disarm",
+    "disarm_all",
+    "inject",
+    "install_from_env",
+]

@@ -1,0 +1,228 @@
+"""Deterministic fault injection for chaos testing (docs/ROBUSTNESS.md).
+
+The engine, planner and executor expose *named fault points* — places
+where a fault can be injected deterministically on the Nth hit:
+
+=========================  ====================================================
+point                      fires
+=========================  ====================================================
+``planner.dp``             entering the cost-based DP optimizer
+``exec.<OpName>.eval``     entering a physical operator's ``eval`` (one
+                           point per operator class, e.g.
+                           ``exec.SortMergeAnd.eval``)
+``aggregate.lookup``       after every shared-index aggregate lookup (the
+                           looked-up value can be *corrupted*)
+``data.series``            when the engine picks up the next series
+=========================  ====================================================
+
+Faults are armed either programmatically::
+
+    with faults.inject("planner.dp"):
+        engine.execute_query(query, table)      # planner raises
+
+or via the ``TREX_FAULTS`` environment variable (read once at import),
+a comma/semicolon-separated list of ``point[:action][@hit]`` entries::
+
+    TREX_FAULTS="planner.dp:raise" python -m repro query ...
+    TREX_FAULTS="data.series:timeout@2,exec.ProbeNot.eval:delay(0.01)"
+
+Actions: ``raise`` (default, :class:`InjectedFault`), ``timeout``
+(:class:`~repro.errors.QueryTimeout`), ``data``
+(:class:`~repro.errors.DataError`), ``plan``
+(:class:`~repro.errors.PlanError`), ``crash`` (a bare ``RuntimeError``,
+modelling an operator bug outside the library's hierarchy),
+``delay(seconds)``, and — context-manager only — ``corrupt`` with a
+callable mapping the observed value to a corrupted one.
+
+Overhead guarantee: every hook site is guarded by the module-level
+:data:`ENABLED` flag, so a disarmed process pays one boolean check per
+site and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import (DataError, ExecutionError, PlanError, QueryTimeout,
+                          TRexError)
+
+#: Fast-path guard consulted by every hook site; kept in sync with the
+#: registry by :func:`arm`/:func:`disarm`.  Do not set directly.
+ENABLED = False
+
+#: Catalog of the stable fault points (for docs and sweep tooling; the
+#: per-operator ``exec.*`` family is open-ended).
+FAULT_POINTS = (
+    "planner.dp",
+    "exec.<OpName>.eval",
+    "aggregate.lookup",
+    "data.series",
+)
+
+
+class InjectedFault(ExecutionError):
+    """Raised by an armed ``raise`` fault point."""
+
+
+_ACTIONS: Dict[str, type] = {
+    "raise": InjectedFault,
+    "timeout": QueryTimeout,
+    "data": DataError,
+    "plan": PlanError,
+    "crash": RuntimeError,
+}
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: where, what, and on which hit it fires."""
+
+    point: str
+    action: str = "raise"        # raise|timeout|data|plan|crash|delay|corrupt
+    on_hit: int = 1              # first hit (1-based) that fires
+    times: Optional[int] = None  # max firings; None = every hit from on_hit
+    delay_seconds: float = 0.0
+    corrupt: Optional[Callable[[Any], Any]] = None
+    hits: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS and self.action not in ("delay",
+                                                               "corrupt"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.on_hit < 1:
+            raise ValueError("on_hit is 1-based and must be >= 1")
+
+    def trip(self, value: Any) -> Any:
+        """Record a hit; fire if due. Returns the (possibly corrupted)
+        value, or raises for the raising actions."""
+        self.hits += 1
+        if self.hits < self.on_hit:
+            return value
+        if self.times is not None and self.fired >= self.times:
+            return value
+        self.fired += 1
+        if self.action == "delay":
+            time.sleep(self.delay_seconds)
+            return value
+        if self.action == "corrupt":
+            if self.corrupt is None:
+                return float("nan")
+            return self.corrupt(value)
+        raise _ACTIONS[self.action](
+            f"injected fault at {self.point!r} (hit {self.hits})")
+
+
+_ACTIVE: Dict[str, FaultSpec] = {}
+
+
+def _refresh() -> None:
+    global ENABLED
+    ENABLED = bool(_ACTIVE)
+
+
+def arm(spec: FaultSpec) -> FaultSpec:
+    """Arm a fault; replaces any fault already armed at the same point."""
+    _ACTIVE[spec.point] = spec
+    _refresh()
+    return spec
+
+
+def disarm(point: str) -> None:
+    _ACTIVE.pop(point, None)
+    _refresh()
+
+
+def disarm_all() -> None:
+    _ACTIVE.clear()
+    _refresh()
+
+
+def active() -> List[FaultSpec]:
+    """The currently armed faults (stable order for reporting)."""
+    return [spec for _, spec in sorted(_ACTIVE.items())]
+
+
+def fire(point: str, value: Any = None) -> Any:
+    """Trip ``point`` if a fault is armed there.
+
+    Call sites guard with ``if faults.ENABLED`` so this function only
+    runs while some fault is armed.  Returns ``value`` unchanged unless
+    a ``corrupt`` fault is due.
+    """
+    spec = _ACTIVE.get(point)
+    if spec is None:
+        return value
+    return spec.trip(value)
+
+
+@contextmanager
+def inject(point: str, action: str = "raise", on_hit: int = 1,
+           times: Optional[int] = None, delay_seconds: float = 0.0,
+           corrupt: Optional[Callable[[Any], Any]] = None) \
+        -> Iterator[FaultSpec]:
+    """Arm one fault for the duration of the ``with`` block."""
+    spec = arm(FaultSpec(point, action=action, on_hit=on_hit, times=times,
+                         delay_seconds=delay_seconds, corrupt=corrupt))
+    try:
+        yield spec
+    finally:
+        disarm(point)
+
+
+def parse_spec(entry: str) -> FaultSpec:
+    """Parse one ``point[:action][@hit]`` entry (``TREX_FAULTS`` syntax)."""
+    entry = entry.strip()
+    if not entry:
+        raise ValueError("empty fault entry")
+    on_hit = 1
+    if "@" in entry:
+        entry, _, hit_text = entry.rpartition("@")
+        try:
+            on_hit = int(hit_text)
+        except ValueError:
+            raise ValueError(f"bad @hit in fault entry {entry!r}: "
+                             f"{hit_text!r}") from None
+    point, _, action = entry.partition(":")
+    action = action or "raise"
+    delay = 0.0
+    if action.startswith("delay"):
+        rest = action[len("delay"):]
+        if rest:
+            if not (rest.startswith("(") and rest.endswith(")")):
+                raise ValueError(f"bad delay syntax {action!r}; "
+                                 f"expected delay(seconds)")
+            delay = float(rest[1:-1])
+        action = "delay"
+    return FaultSpec(point.strip(), action=action, on_hit=on_hit,
+                     delay_seconds=delay)
+
+
+def install_from_env(value: Optional[str] = None) -> List[FaultSpec]:
+    """Arm every fault listed in ``TREX_FAULTS`` (or ``value``).
+
+    Called once at import so subprocesses (CLI, CI chaos sweeps) pick up
+    the variable without any code change.  Returns the armed specs.
+    """
+    if value is None:
+        value = os.environ.get("TREX_FAULTS", "")
+    specs = []
+    for entry in value.replace(";", ",").split(","):
+        if entry.strip():
+            specs.append(arm(parse_spec(entry)))
+    return specs
+
+
+# TRexError is re-exported so chaos tests can assert on the library
+# hierarchy without importing repro.errors separately.
+__all__ = [
+    "ENABLED", "FAULT_POINTS", "FaultSpec", "InjectedFault", "TRexError",
+    "active", "arm", "disarm", "disarm_all", "fire", "inject",
+    "install_from_env", "parse_spec",
+]
+
+install_from_env()

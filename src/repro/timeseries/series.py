@@ -32,14 +32,27 @@ class Series:
     time_unit:
         Unit in which the order column counts time (``'DAY'``, ``'HOUR'``,
         ...).  Used to convert time-based window bounds.
+    nan_policy:
+        What to do with non-finite values (NaN/±inf) in numeric columns:
+        ``'allow'`` (default) keeps them — aggregates then see them
+        verbatim; ``'raise'`` rejects the series with a
+        :class:`~repro.errors.DataError` naming the first offending cell;
+        ``'omit'`` masks out every row that has a non-finite value in any
+        numeric column.  See docs/ROBUSTNESS.md.
     """
 
+    NAN_POLICIES = ("allow", "raise", "omit")
+
     def __init__(self, columns: Dict[str, Sequence], order_column: str,
-                 key: Optional[tuple] = None, time_unit: str = "DAY"):
+                 key: Optional[tuple] = None, time_unit: str = "DAY",
+                 nan_policy: str = "allow"):
         if order_column not in columns:
             raise DataError(
                 f"order column {order_column!r} missing from columns "
                             f"{sorted(columns)}")
+        if nan_policy not in self.NAN_POLICIES:
+            raise DataError(f"nan_policy must be one of "
+                            f"{self.NAN_POLICIES}, got {nan_policy!r}")
         self._columns: Dict[str, np.ndarray] = {}
         length = None
         for name, values in columns.items():
@@ -50,6 +63,8 @@ class Series:
                 raise DataError(f"column {name!r} has length {len(arr)}, "
                                 f"expected {length}")
             self._columns[name] = arr
+        if nan_policy != "allow":
+            self._apply_nan_policy(nan_policy, key)
         self.order_column = order_column
         self.key = key if key is not None else ()
         self.time_unit = time_unit
@@ -57,6 +72,27 @@ class Series:
         if len(order) > 1 and np.any(np.diff(order.astype(np.float64)) < 0):
             raise DataError(f"order column {order_column!r} is not sorted for "
                             f"partition {key!r}")
+
+    def _apply_nan_policy(self, nan_policy: str,
+                          key: Optional[tuple]) -> None:
+        keep: Optional[np.ndarray] = None
+        for name in sorted(self._columns):
+            arr = self._columns[name]
+            if arr.dtype.kind != "f":
+                continue
+            finite = np.isfinite(arr)
+            if finite.all():
+                continue
+            if nan_policy == "raise":
+                row = int(np.flatnonzero(~finite)[0])
+                raise DataError(
+                    f"column {name!r} has a non-finite value at row {row} "
+                    f"for partition {key!r} (nan_policy='raise'); load "
+                    f"with nan_policy='omit' to mask such rows")
+            keep = finite if keep is None else (keep & finite)
+        if keep is not None:
+            self._columns = {name: arr[keep]
+                             for name, arr in self._columns.items()}
 
     @staticmethod
     def _to_array(name: str, values: Sequence) -> np.ndarray:

@@ -19,7 +19,11 @@ class Table:
     (Section 3, "Time Series Data Model").
     """
 
-    def __init__(self, columns: Dict[str, Sequence], time_unit: str = "DAY"):
+    def __init__(self, columns: Dict[str, Sequence], time_unit: str = "DAY",
+                 nan_policy: str = "allow"):
+        if nan_policy not in Series.NAN_POLICIES:
+            raise DataError(f"nan_policy must be one of "
+                            f"{Series.NAN_POLICIES}, got {nan_policy!r}")
         self._columns: Dict[str, np.ndarray] = {}
         length = None
         for name, values in columns.items():
@@ -36,6 +40,9 @@ class Table:
             raise DataError("a table needs at least one column")
         self._length = length
         self.time_unit = time_unit
+        #: Non-finite handling threaded into every Series this table
+        #: partitions into (see :class:`Series` for the semantics).
+        self.nan_policy = nan_policy
 
     def __len__(self) -> int:
         return self._length
@@ -69,7 +76,8 @@ class Table:
             order = np.argsort(self._columns[order_by], kind="stable")
             columns = {name: arr[order] for name, arr in self._columns.items()}
             return [Series(columns, order_by, key=(),
-                           time_unit=self.time_unit)]
+                           time_unit=self.time_unit,
+                           nan_policy=self.nan_policy)]
 
         groups: Dict[tuple, List[int]] = {}
         key_arrays = [self._columns[name] for name in partition_by]
@@ -84,7 +92,8 @@ class Table:
             rows = rows[order]
             columns = {name: arr[rows] for name, arr in self._columns.items()}
             series_list.append(
-                Series(columns, order_by, key=key, time_unit=self.time_unit))
+                Series(columns, order_by, key=key, time_unit=self.time_unit,
+                       nan_policy=self.nan_policy))
         return series_list
 
     @classmethod

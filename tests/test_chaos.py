@@ -1,0 +1,279 @@
+"""Chaos suite: fault injection across planner, executor and data layers.
+
+Sweeps every operator family's ``exec.<Op>.eval`` fault point under each
+error policy, exercises the planner fallback chain, and checks that
+partial results stay deterministic across planners when the *failure
+itself* is deterministic (docs/ROBUSTNESS.md).
+"""
+
+import pytest
+
+from repro.core.bruteforce import BruteForceMatcher
+from repro.core.engine import TRexEngine
+from repro.errors import QueryTimeout
+from repro.lang.query import compile_query
+from repro.testing import faults
+
+from tests.conftest import make_series
+
+VEE = [1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4, 5]
+
+#: One query per operator family; each is small enough for the
+#: brute-force reference matcher.
+FAMILY_QUERIES = {
+    "concat": """
+        ORDER BY tstamp
+        PATTERN (DN UP) & WIN
+        DEFINE SEGMENT DN AS last(DN.val) < first(DN.val),
+          SEGMENT UP AS last(UP.val) > first(UP.val),
+          SEGMENT WIN AS window(2, 6)
+    """,
+    "and": """
+        ORDER BY tstamp
+        PATTERN (UP & W) & WIN
+        DEFINE SEGMENT UP AS last(UP.val) > first(UP.val),
+          SEGMENT W AS window(1, 4),
+          SEGMENT WIN AS window(1, 6)
+    """,
+    "or": """
+        ORDER BY tstamp
+        PATTERN (UP | DN) & WIN
+        DEFINE SEGMENT UP AS last(UP.val) > first(UP.val),
+          SEGMENT DN AS last(DN.val) < first(DN.val),
+          SEGMENT WIN AS window(2, 4)
+    """,
+    "not": """
+        ORDER BY tstamp
+        PATTERN (X & ~(F)) & WIN
+        DEFINE SEGMENT X AS last(X.val) > first(X.val),
+          SEGMENT F AS last(F.val) < first(F.val),
+          SEGMENT WIN AS window(1, 4)
+    """,
+    "kleene": """
+        ORDER BY tstamp
+        PATTERN ((R & W)+) & WIN
+        DEFINE SEGMENT R AS last(R.val) > first(R.val),
+          SEGMENT W AS window(1, 2),
+          SEGMENT WIN AS window(1, 6)
+    """,
+}
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+def two_series():
+    return [make_series(VEE, key=("a",)),
+            make_series(list(reversed(VEE)), key=("b",))]
+
+
+def plan_operator_names(query, series_list):
+    """All distinct physical-operator names in the cost-based plan."""
+    from repro.plan.logical import build_logical_plan
+    engine = TRexEngine()
+    plan = engine.build_plan(query, build_logical_plan(query), series_list)
+    names = set()
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        names.add(getattr(type(op), "name", None) or type(op).__name__)
+        stack.extend(op.children())
+    return sorted(names)
+
+
+class TestOperatorFaultSweep:
+    """Inject a fault into every operator of every family's plan."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+    def test_each_operator_each_policy(self, family):
+        query = compile_query(FAMILY_QUERIES[family])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        op_names = plan_operator_names(query, series_list)
+        assert op_names, f"no operators found for family {family}"
+        for op_name in op_names:
+            point = f"exec.{op_name}.eval"
+            # raise policy: the injected fault propagates untouched.
+            with faults.inject(point):
+                with pytest.raises(faults.InjectedFault):
+                    TRexEngine().execute_query(query, series_list)
+            # skip policy: both series fail, errors recorded, no matches.
+            with faults.inject(point):
+                result = TRexEngine(on_error="skip").execute_query(
+                    query, series_list)
+            assert [e.key for e in result.errors] == [("a",), ("b",)]
+            assert all(e.kind == "execution" for e in result.errors)
+            assert result.total_matches == 0
+            assert not result.interrupted
+            # partial policy on the 2nd firing only: series "a" completes
+            # clean; "b" keeps a sorted, duplicate-free subset.
+            with faults.inject(point, on_hit=2):
+                result = TRexEngine(on_error="partial").execute_query(
+                    query, series_list)
+            clean_a, clean_b = clean.per_series[0], clean.per_series[1]
+            got_a, got_b = result.per_series[0], result.per_series[1]
+            if got_a.error is None:
+                assert got_a.matches == clean_a.matches
+                assert got_b.error is not None
+            partial = got_b if got_b.error is not None else got_a
+            reference = clean_b if got_b.error is not None else clean_a
+            assert partial.matches == sorted(set(partial.matches))
+            assert set(partial.matches) <= set(reference.matches)
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+    def test_crash_fault_isolated_as_internal(self, family):
+        """A non-library RuntimeError inside an operator is still
+        isolated per series under skip/partial."""
+        query = compile_query(FAMILY_QUERIES[family])
+        series_list = two_series()
+        op_name = plan_operator_names(query, series_list)[0]
+        with faults.inject(f"exec.{op_name}.eval", action="crash"):
+            result = TRexEngine(on_error="skip").execute_query(
+                query, series_list)
+        assert len(result.errors) == 2
+        assert all(e.kind == "internal" for e in result.errors)
+        assert all(e.error == "RuntimeError" for e in result.errors)
+
+
+class TestPlannerFallback:
+    def query_and_series(self):
+        query = compile_query(FAMILY_QUERIES["and"])
+        return query, two_series()
+
+    @pytest.mark.parametrize("action", ["plan", "raise", "crash"])
+    def test_dp_fault_falls_back_to_rule_plan(self, action):
+        query, series_list = self.query_and_series()
+        expected = {series.key: sorted(
+            BruteForceMatcher(query).match_series(series))
+            for series in series_list}
+        with faults.inject("planner.dp", action=action):
+            result = TRexEngine().execute_query(query, series_list)
+        assert result.planner_fallback is not None
+        assert "pr_left" in result.planner_fallback
+        assert result.metrics_dict()["planner_fallback"] \
+            == result.planner_fallback
+        for entry in result.per_series:
+            assert entry.matches == expected[entry.key]
+            assert entry.error is None
+
+    def test_fallback_matches_equal_cost_plan_matches(self):
+        query, series_list = self.query_and_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        with faults.inject("planner.dp"):
+            degraded = TRexEngine().execute_query(query, series_list)
+        assert degraded.matches_by_key() == clean.matches_by_key()
+
+    def test_fallback_visible_in_explain_analyze(self):
+        query, series_list = self.query_and_series()
+        with faults.inject("planner.dp"):
+            result = TRexEngine(analyze=True).execute_query(
+                query, series_list)
+        assert result.plan_analyze.startswith("!! planner fallback:")
+        assert "pr_left" in result.plan_analyze
+
+    def test_planning_timeout_does_not_fall_back(self):
+        """QueryTimeout during planning means the query is out of time —
+        no fallback plan could execute anyway."""
+        query, series_list = self.query_and_series()
+        with faults.inject("planner.dp", action="timeout"):
+            with pytest.raises(QueryTimeout):
+                TRexEngine().execute_query(query, series_list)
+
+    def test_no_fallback_for_rule_planners(self):
+        """planner.dp only guards the cost-based path."""
+        query, series_list = self.query_and_series()
+        with faults.inject("planner.dp") as spec:
+            result = TRexEngine(optimizer="pr_left").execute_query(
+                query, series_list)
+        assert result.planner_fallback is None
+        assert spec.fired == 0
+        assert result.total_matches > 0
+
+
+class TestDataSeriesFaults:
+    def test_partial_results_deterministic_across_planners(self):
+        """A deterministic mid-query failure (series #2 times out) yields
+        identical surviving matches for every planner."""
+        query = compile_query(FAMILY_QUERIES["concat"])
+        series_list = [make_series(VEE, key=("a",)),
+                       make_series(list(reversed(VEE)), key=("b",)),
+                       make_series(VEE, key=("c",))]
+        clean = TRexEngine().execute_query(query, series_list)
+        harvests = {}
+        for optimizer in ("cost", "batch", "pr_left"):
+            with faults.inject("data.series", action="timeout", on_hit=2):
+                result = TRexEngine(optimizer=optimizer,
+                                    on_error="partial").execute_query(
+                    query, series_list)
+            assert result.interrupted
+            assert result.degradation.startswith("timeout")
+            a, b, c = result.per_series
+            assert a.error is None
+            assert b.error is not None and b.error.kind == "timeout"
+            assert c.matches == []  # global stop after the timeout
+            harvests[optimizer] = a.matches
+        assert harvests["cost"] == harvests["batch"] == harvests["pr_left"]
+        assert harvests["cost"] == clean.per_series[0].matches
+
+    def test_skip_policy_drops_only_failing_series(self):
+        query = compile_query(FAMILY_QUERIES["and"])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        with faults.inject("data.series", action="data", on_hit=2):
+            result = TRexEngine(on_error="skip").execute_query(
+                query, series_list)
+        a, b = result.per_series
+        assert a.error is None
+        assert a.matches == clean.per_series[0].matches
+        assert b.error is not None and b.error.kind == "data"
+        assert b.matches == []
+        assert not result.interrupted  # data faults are not global
+
+    def test_raise_policy_propagates(self):
+        query = compile_query(FAMILY_QUERIES["and"])
+        with faults.inject("data.series"):
+            with pytest.raises(faults.InjectedFault):
+                TRexEngine().execute_query(query, two_series())
+
+
+#: A query whose leaves use shared aggregate indexes under sharing='on'.
+INDEXED_QUERY = """
+    ORDER BY tstamp
+    PATTERN (UP & W) & WIN
+    DEFINE SEGMENT UP AS linear_reg_r2_signed(UP.tstamp, UP.val) >= 0.5,
+      SEGMENT W AS window(2, 4),
+      SEGMENT WIN AS window(2, 6)
+"""
+
+
+class TestAggregateLookupFault:
+    def test_lookup_hook_fires_and_identity_corrupt_is_transparent(self):
+        """The aggregate.lookup point sees every shared-index lookup; an
+        identity corruption must not change the result."""
+        query = compile_query(INDEXED_QUERY)
+        series_list = two_series()
+        clean = TRexEngine(sharing="on").execute_query(query, series_list)
+        with faults.inject("aggregate.lookup", action="corrupt",
+                           corrupt=lambda v: v) as spec:
+            result = TRexEngine(sharing="on").execute_query(
+                query, series_list)
+        assert spec.hits > 0
+        assert result.matches_by_key() == clean.matches_by_key()
+
+    def test_corrupted_lookup_isolated_by_policy(self):
+        query = compile_query(INDEXED_QUERY)
+        series_list = two_series()
+
+        def explode(value):
+            raise faults.InjectedFault("corrupted index entry")
+
+        with faults.inject("aggregate.lookup", action="corrupt",
+                           corrupt=explode):
+            result = TRexEngine(sharing="on", on_error="skip").execute_query(
+                query, series_list)
+        assert len(result.errors) == 2
+        assert all(e.kind == "execution" for e in result.errors)

@@ -158,7 +158,8 @@ class TestCLI:
         code = main(["query", "--dataset", "sp500",
                      "--query", "PATTERN (((", "--series", "2",
                      "--length", "30"])
-        assert code == 1
+        # Syntax errors map to a distinct exit code (docs/ROBUSTNESS.md).
+        assert code == 3
         assert "error:" in capsys.readouterr().err
 
     def test_missing_query_rejected(self):

@@ -1,0 +1,135 @@
+"""CLI error hygiene: exit codes, one-line stderr, robustness flags.
+
+Run through a real subprocess so the ``TREX_FAULTS`` environment path
+and process exit codes are exercised end to end.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+QUERY = ("PARTITION BY ticker ORDER BY tstamp PATTERN (UP) "
+         "DEFINE SEGMENT UP AS last(UP.price) > first(UP.price) "
+         "AND window(1, 3)")
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "prices.csv"
+    path.write_text(
+        "tstamp,ticker,price\n"
+        "0,ACME,10.0\n"
+        "1,ACME,11.5\n"
+        "2,ACME,12.0\n"
+        "3,ACME,13.0\n"
+        "0,OTHR,5.0\n"
+        "1,OTHR,6.0\n"
+        "2,OTHR,7.5\n")
+    return str(path)
+
+
+@pytest.fixture
+def nan_csv_file(tmp_path):
+    path = tmp_path / "gappy.csv"
+    path.write_text(
+        "tstamp,ticker,price\n"
+        "0,ACME,10.0\n"
+        "1,ACME,\n"
+        "2,ACME,12.0\n"
+        "3,ACME,13.0\n")
+    return str(path)
+
+
+def run_cli(*args, faults_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("TREX_FAULTS", None)
+    if faults_env is not None:
+        env["TREX_FAULTS"] = faults_env
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=120)
+
+
+def query_args(csv_path, *extra):
+    return ["query", "--csv", csv_path, "--query", QUERY, *extra]
+
+
+class TestExitCodes:
+    def test_clean_query_exits_zero(self, csv_file):
+        proc = run_cli(*query_args(csv_file))
+        assert proc.returncode == 0, proc.stderr
+        assert "ACME" in proc.stdout
+
+    def test_syntax_error_exit_3(self, csv_file):
+        proc = run_cli("query", "--csv", csv_file, "--query", "PATTERN (((")
+        assert proc.returncode == 3
+
+    def test_bind_error_exit_4(self, csv_file):
+        proc = run_cli("query", "--csv", csv_file, "--query",
+                       "ORDER BY tstamp PATTERN (A) "
+                       "DEFINE A AS window(1, 5)")  # row var + window
+        assert proc.returncode == 4
+
+    def test_data_error_exit_6(self, nan_csv_file):
+        proc = run_cli(*query_args(nan_csv_file, "--nan-policy", "raise"))
+        assert proc.returncode == 6
+        assert "non-finite" in proc.stderr
+
+    def test_execution_fault_exit_7(self, csv_file):
+        proc = run_cli(*query_args(csv_file),
+                       faults_env="data.series:raise")
+        assert proc.returncode == 7
+
+    def test_timeout_exit_8(self, csv_file):
+        proc = run_cli(*query_args(csv_file, "--timeout", "1e-9"))
+        assert proc.returncode == 8
+
+    def test_budget_exit_8(self, csv_file):
+        proc = run_cli(*query_args(csv_file, "--max-segments", "1"))
+        assert proc.returncode == 8
+        assert "max_segments" in proc.stderr
+
+    def test_stderr_is_one_line(self, csv_file):
+        proc = run_cli(*query_args(csv_file, "--max-segments", "1"))
+        lines = [ln for ln in proc.stderr.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+
+
+class TestDegradationFlags:
+    def test_on_error_skip_isolates_fault(self, csv_file):
+        proc = run_cli(*query_args(csv_file, "--on-error", "skip"),
+                       faults_env="data.series:raise@2")
+        assert proc.returncode == 0, proc.stderr
+        assert "warning:" in proc.stderr
+        assert "ACME" in proc.stdout  # first series survived
+
+    def test_on_error_partial_with_budget(self, csv_file):
+        proc = run_cli(*query_args(csv_file, "--on-error", "partial",
+                                   "--max-segments", "2"))
+        assert proc.returncode == 0, proc.stderr
+        assert "partial result" in proc.stderr
+        assert "budget" in proc.stderr
+
+    def test_planner_fault_reports_fallback(self, csv_file):
+        proc = run_cli(*query_args(csv_file),
+                       faults_env="planner.dp:plan")
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback" in proc.stderr
+        assert "pr_left" in proc.stderr
+        assert "ACME" in proc.stdout
+
+    def test_nan_policy_omit_masks_rows(self, nan_csv_file):
+        proc = run_cli(*query_args(nan_csv_file, "--nan-policy", "omit"))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_explain_analyze_shows_fallback(self, csv_file):
+        proc = run_cli("explain", "--analyze", "--csv", csv_file,
+                       "--query", QUERY, faults_env="planner.dp:plan")
+        assert proc.returncode == 0, proc.stderr
+        assert "!! planner fallback:" in proc.stdout

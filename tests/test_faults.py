@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.errors import DataError, PlanError, QueryTimeout
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """Every test starts and ends with nothing armed."""
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+class TestArming:
+    def test_disarmed_by_default(self):
+        assert faults.ENABLED is False
+        assert faults.active() == []
+
+    def test_fire_without_fault_passes_value_through(self):
+        assert faults.fire("planner.dp", 42) == 42
+
+    def test_inject_arms_and_disarms(self):
+        with faults.inject("planner.dp") as spec:
+            assert faults.ENABLED is True
+            assert faults.active() == [spec]
+        assert faults.ENABLED is False
+        assert faults.active() == []
+
+    def test_inject_disarms_on_exception(self):
+        with pytest.raises(faults.InjectedFault):
+            with faults.inject("planner.dp"):
+                faults.fire("planner.dp")
+        assert faults.ENABLED is False
+
+    def test_arm_replaces_same_point(self):
+        faults.arm(faults.FaultSpec("p", on_hit=1))
+        faults.arm(faults.FaultSpec("p", on_hit=9))
+        assert len(faults.active()) == 1
+        assert faults.active()[0].on_hit == 9
+
+    def test_disarm_unknown_point_is_noop(self):
+        faults.disarm("never.armed")
+        assert faults.ENABLED is False
+
+
+class TestFiring:
+    def test_raise_on_first_hit(self):
+        with faults.inject("p"):
+            with pytest.raises(faults.InjectedFault, match="'p'"):
+                faults.fire("p")
+
+    def test_nth_hit(self):
+        with faults.inject("p", on_hit=3) as spec:
+            faults.fire("p")
+            faults.fire("p")
+            with pytest.raises(faults.InjectedFault, match="hit 3"):
+                faults.fire("p")
+            assert spec.hits == 3 and spec.fired == 1
+
+    def test_times_limits_firings(self):
+        with faults.inject("p", action="corrupt", times=2,
+                           corrupt=lambda v: -v) as spec:
+            assert [faults.fire("p", 1) for _ in range(4)] == [-1, -1, 1, 1]
+            assert spec.fired == 2
+
+    def test_unarmed_points_unaffected(self):
+        with faults.inject("p"):
+            assert faults.fire("q", "ok") == "ok"
+
+    def test_action_exception_classes(self):
+        cases = [("raise", faults.InjectedFault), ("timeout", QueryTimeout),
+                 ("data", DataError), ("plan", PlanError),
+                 ("crash", RuntimeError)]
+        for action, exc_type in cases:
+            with faults.inject("p", action=action):
+                with pytest.raises(exc_type):
+                    faults.fire("p")
+
+    def test_delay_sleeps_then_passes_through(self):
+        with faults.inject("p", action="delay", delay_seconds=0.02):
+            t0 = time.perf_counter()
+            assert faults.fire("p", "v") == "v"
+            assert time.perf_counter() - t0 >= 0.02
+
+    def test_corrupt_default_is_nan(self):
+        import math
+        with faults.inject("p", action="corrupt"):
+            assert math.isnan(faults.fire("p", 7.0))
+
+    def test_corrupt_callable(self):
+        with faults.inject("p", action="corrupt", corrupt=lambda v: v * 10):
+            assert faults.fire("p", 3) == 30
+
+
+class TestSpecValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            faults.FaultSpec("p", action="explode")
+
+    def test_on_hit_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            faults.FaultSpec("p", on_hit=0)
+
+
+class TestParseSpec:
+    def test_point_only_defaults(self):
+        spec = faults.parse_spec("planner.dp")
+        assert (spec.point, spec.action, spec.on_hit) == \
+            ("planner.dp", "raise", 1)
+
+    def test_action_and_hit(self):
+        spec = faults.parse_spec("data.series:timeout@2")
+        assert (spec.point, spec.action, spec.on_hit) == \
+            ("data.series", "timeout", 2)
+
+    def test_delay_with_seconds(self):
+        spec = faults.parse_spec("exec.ProbeNot.eval:delay(0.25)")
+        assert spec.action == "delay"
+        assert spec.delay_seconds == 0.25
+
+    def test_delay_without_seconds(self):
+        assert faults.parse_spec("p:delay").delay_seconds == 0.0
+
+    def test_whitespace_tolerated(self):
+        assert faults.parse_spec("  planner.dp ").point == "planner.dp"
+
+    def test_bad_hit_rejected(self):
+        with pytest.raises(ValueError, match="@hit"):
+            faults.parse_spec("p:raise@soon")
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            faults.parse_spec("p:delay[3]")
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(ValueError):
+            faults.parse_spec("   ")
+
+
+class TestInstallFromEnv:
+    def test_installs_multiple_entries(self):
+        specs = faults.install_from_env(
+            "planner.dp:plan, data.series:timeout@2; aggregate.lookup")
+        assert len(specs) == 3
+        assert faults.ENABLED is True
+        points = {spec.point for spec in faults.active()}
+        assert points == {"planner.dp", "data.series", "aggregate.lookup"}
+
+    def test_empty_value_installs_nothing(self):
+        assert faults.install_from_env("") == []
+        assert faults.ENABLED is False
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("TREX_FAULTS", "planner.dp:crash")
+        specs = faults.install_from_env()
+        assert len(specs) == 1 and specs[0].action == "crash"

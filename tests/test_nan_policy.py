@@ -1,0 +1,101 @@
+"""Non-finite data policy: Series/Table/loader ``nan_policy`` threading."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import load_csv
+from repro.errors import DataError
+from repro.timeseries.series import Series
+from repro.timeseries.table import Table
+
+
+def gappy_columns():
+    return {
+        "tstamp": np.arange(6.0),
+        "val": np.asarray([1.0, np.nan, 3.0, np.inf, 5.0, 6.0]),
+        "vol": np.asarray([10.0, 20.0, 30.0, 40.0, np.nan, 60.0]),
+    }
+
+
+class TestSeriesPolicy:
+    def test_allow_keeps_non_finite(self):
+        series = Series(gappy_columns(), "tstamp")
+        assert len(series) == 6
+        assert np.isnan(series.column("val")[1])
+
+    def test_raise_names_column_and_row(self):
+        with pytest.raises(DataError, match=r"'val'.*row 1"):
+            Series(gappy_columns(), "tstamp", nan_policy="raise")
+
+    def test_omit_masks_rows_across_all_columns(self):
+        series = Series(gappy_columns(), "tstamp", nan_policy="omit")
+        # rows 1 (nan val), 3 (inf val) and 4 (nan vol) are dropped.
+        assert series.column("tstamp").tolist() == [0.0, 2.0, 5.0]
+        assert series.column("val").tolist() == [1.0, 3.0, 6.0]
+        assert np.isfinite(series.column("vol")).all()
+
+    def test_omit_leaves_clean_series_untouched(self):
+        series = Series({"tstamp": np.arange(3.0),
+                         "val": np.asarray([1.0, 2.0, 3.0])},
+                        "tstamp", nan_policy="omit")
+        assert len(series) == 3
+
+    def test_object_columns_ignored_by_policy(self):
+        columns = {"tstamp": np.arange(3.0),
+                   "ticker": np.asarray(["A", "B", "C"], dtype=object),
+                   "val": np.asarray([1.0, np.nan, 3.0])}
+        series = Series(columns, "tstamp", nan_policy="omit")
+        assert series.column("ticker").tolist() == ["A", "C"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DataError, match="nan_policy"):
+            Series(gappy_columns(), "tstamp", nan_policy="drop")
+
+
+class TestTablePolicy:
+    def test_partition_threads_policy(self):
+        table = Table(gappy_columns(), nan_policy="omit")
+        (series,) = table.partition(None, "tstamp")
+        assert len(series) == 3
+
+    def test_partition_by_key_threads_policy(self):
+        columns = {"tstamp": np.asarray([0.0, 1.0, 0.0, 1.0]),
+                   "ticker": np.asarray(["A", "A", "B", "B"], dtype=object),
+                   "val": np.asarray([1.0, np.nan, 3.0, 4.0])}
+        table = Table(columns, nan_policy="omit")
+        by_key = {s.key: s for s in table.partition(["ticker"], "tstamp")}
+        assert len(by_key[("A",)]) == 1
+        assert len(by_key[("B",)]) == 2
+
+    def test_raise_policy_surfaces_at_partition_time(self):
+        table = Table(gappy_columns(), nan_policy="raise")
+        with pytest.raises(DataError, match="non-finite"):
+            table.partition(None, "tstamp")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DataError, match="nan_policy"):
+            Table(gappy_columns(), nan_policy="skip")
+
+
+class TestLoaderPolicy:
+    @pytest.fixture
+    def nan_csv(self, tmp_path):
+        path = tmp_path / "gappy.csv"
+        path.write_text("tstamp,val\n0,1.0\n1,\n2,3.0\n")
+        return str(path)
+
+    def test_default_allows_nan(self, nan_csv):
+        table = load_csv(nan_csv)
+        (series,) = table.partition(None, "tstamp")
+        assert len(series) == 3
+        assert np.isnan(series.column("val")[1])
+
+    def test_omit_threaded_through(self, nan_csv):
+        table = load_csv(nan_csv, nan_policy="omit")
+        (series,) = table.partition(None, "tstamp")
+        assert series.column("val").tolist() == [1.0, 3.0]
+
+    def test_raise_threaded_through(self, nan_csv):
+        table = load_csv(nan_csv, nan_policy="raise")
+        with pytest.raises(DataError, match="nan_policy"):
+            table.partition(None, "tstamp")

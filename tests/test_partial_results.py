@@ -1,0 +1,196 @@
+"""Partial results, resource budgets and deadline semantics.
+
+The ``'partial'`` policy guarantee under test: whatever stops a series
+early (operator fault, blown segment budget, timeout), the surviving
+matches are a sorted, duplicate-free subset of the uninterrupted run's
+matches, and completed series are untouched (docs/ROBUSTNESS.md).
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import TRexEngine
+from repro.errors import (PlanningBudgetExceeded, QueryTimeout,
+                          ResourceBudgetExceeded, error_kind, exit_code)
+from repro.lang.query import compile_query
+from repro.testing import faults
+
+from tests.conftest import make_series
+from tests.test_chaos import FAMILY_QUERIES, VEE, two_series
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+def assert_partial_subset(partial, reference):
+    assert partial == sorted(set(partial))
+    assert set(partial) <= set(reference)
+
+
+class TestSegmentBudget:
+    @pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+    def test_partial_policy_keeps_prefix_subset(self, family):
+        query = compile_query(FAMILY_QUERIES[family])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        assert clean.total_matches > 1, "query too selective for this test"
+        result = TRexEngine(on_error="partial", max_segments=2) \
+            .execute_query(query, series_list)
+        assert result.interrupted
+        assert result.degradation.startswith("budget")
+        assert result.total_matches < clean.total_matches
+        for got, ref in zip(result.per_series, clean.per_series):
+            assert_partial_subset(got.matches, ref.matches)
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+    def test_raise_policy_propagates_budget_error(self, family):
+        query = compile_query(FAMILY_QUERIES[family])
+        with pytest.raises(ResourceBudgetExceeded, match="max_segments"):
+            TRexEngine(max_segments=1).execute_query(query, two_series())
+
+    def test_skip_policy_drops_matches_but_records_budget_error(self):
+        query = compile_query(FAMILY_QUERIES["concat"])
+        result = TRexEngine(on_error="skip", max_segments=2) \
+            .execute_query(query, two_series())
+        assert result.interrupted
+        errors = result.errors
+        assert errors and errors[0].kind == "budget"
+        assert errors[0].partial is False
+        failing = result.per_series[0]
+        assert failing.error is not None and failing.matches == []
+
+    def test_budget_spans_series(self):
+        """max_segments is a query-global budget, not per series: what
+        series #1 consumes is gone for series #2."""
+        query = compile_query(FAMILY_QUERIES["and"])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        first = len(clean.per_series[0].matches)
+        assert first > 0 and len(clean.per_series[1].matches) > 0
+        result = TRexEngine(on_error="partial", max_segments=first) \
+            .execute_query(query, series_list)
+        assert result.per_series[0].matches == clean.per_series[0].matches
+        assert len(result.per_series[1].matches) \
+            < len(clean.per_series[1].matches)
+        assert result.interrupted
+
+    def test_generous_budget_changes_nothing(self):
+        query = compile_query(FAMILY_QUERIES["kleene"])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        result = TRexEngine(on_error="partial", max_segments=10 ** 6) \
+            .execute_query(query, series_list)
+        assert not result.interrupted
+        assert result.matches_by_key() == clean.matches_by_key()
+
+    def test_error_taxonomy(self):
+        assert error_kind(ResourceBudgetExceeded("x")) == "budget"
+        assert exit_code(ResourceBudgetExceeded("x")) == 8
+        assert exit_code(QueryTimeout("x")) == 8
+
+    def test_invalid_budget_rejected(self):
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            TRexEngine(max_segments=0)
+
+
+#: Enough variables to make DP planning non-trivial (regression: the
+#: query deadline must start before planning and tick inside the DP).
+MANY_VARS = """
+    ORDER BY tstamp
+    PATTERN (A B C D E F) & WIN
+    DEFINE SEGMENT A AS last(A.val) > first(A.val),
+      SEGMENT B AS last(B.val) < first(B.val),
+      SEGMENT C AS last(C.val) > first(C.val),
+      SEGMENT D AS last(D.val) < first(D.val),
+      SEGMENT E AS last(E.val) > first(E.val),
+      SEGMENT F AS avg(F.val) > 0,
+      SEGMENT WIN AS window(6, 40)
+"""
+
+
+def long_series(n=400):
+    return [make_series((VEE * 40)[:n], key=("long",))]
+
+
+class TestDeadlineCoversPlanning:
+    def test_tiny_timeout_raises_during_planning(self):
+        """Regression: a deadline far smaller than planning time must
+        surface promptly as QueryTimeout, not after planning finishes."""
+        engine = TRexEngine(timeout_seconds=1e-7)
+        t0 = time.perf_counter()
+        with pytest.raises(QueryTimeout):
+            engine.execute_query(compile_query(MANY_VARS), long_series())
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_tiny_timeout_degrades_under_partial(self):
+        engine = TRexEngine(timeout_seconds=1e-7, on_error="partial")
+        result = engine.execute_query(compile_query(MANY_VARS),
+                                      long_series())
+        assert result.interrupted
+        assert result.degradation.startswith("timeout")
+        assert result.total_matches == 0
+        assert len(result.per_series) == 1  # shape preserved
+
+    def test_planning_budget_triggers_fallback_not_failure(self):
+        """A blown *planning* budget is recoverable: the rule-based
+        fallback plan still answers the query."""
+        engine = TRexEngine(planning_timeout_seconds=1e-9)
+        query = compile_query(FAMILY_QUERIES["and"])
+        series_list = two_series()
+        result = engine.execute_query(query, series_list)
+        assert result.planner_fallback is not None
+        assert "pr_left" in result.planner_fallback
+        clean = TRexEngine().execute_query(query, series_list)
+        assert result.matches_by_key() == clean.matches_by_key()
+
+    def test_planning_budget_error_is_plan_kind(self):
+        assert error_kind(PlanningBudgetExceeded("x")) == "plan"
+        assert exit_code(PlanningBudgetExceeded("x")) == 5
+
+    def test_generous_timeout_changes_nothing(self):
+        query = compile_query(FAMILY_QUERIES["or"])
+        series_list = two_series()
+        clean = TRexEngine().execute_query(query, series_list)
+        result = TRexEngine(timeout_seconds=3600.0).execute_query(
+            query, series_list)
+        assert not result.interrupted
+        assert result.matches_by_key() == clean.matches_by_key()
+
+
+class TestResultSurface:
+    def test_default_policy_result_shape_unchanged(self):
+        """on_error='raise' keeps the result surface byte-identical to
+        the pre-policy engine for clean runs."""
+        query = compile_query(FAMILY_QUERIES["and"])
+        result = TRexEngine().execute_query(query, two_series())
+        assert result.interrupted is False
+        assert result.degradation is None
+        assert result.planner_fallback is None
+        assert result.errors == []
+        metrics = result.metrics_dict()
+        assert metrics["interrupted"] is False
+        assert "degradation" not in metrics
+        assert "errors" not in metrics
+
+    def test_series_error_in_metrics_and_summary(self):
+        query = compile_query(FAMILY_QUERIES["and"])
+        with faults.inject("data.series", action="data", on_hit=2):
+            result = TRexEngine(on_error="skip").execute_query(
+                query, two_series())
+        metrics = result.metrics_dict()
+        assert len(metrics["errors"]) == 1
+        entry = metrics["errors"][0]
+        assert entry["kind"] == "data" and entry["error"] == "DataError"
+        assert "1 series error(s)" in result.summary()
+
+    def test_interrupted_summary_mentions_reason(self):
+        query = compile_query(FAMILY_QUERIES["and"])
+        result = TRexEngine(on_error="partial", max_segments=1) \
+            .execute_query(query, two_series())
+        assert "interrupted" in result.summary()
