@@ -372,6 +372,66 @@ def run_bench_smoke(out_dir: str, template_name: str = "v_shape",
     return write_bench_artifact(out_dir, f"smoke_{template.name}", payload)
 
 
+def run_bench_parallel(out_dir: str, template_name: str = "v_shape",
+                       num_series: int = 8, length: int = 200,
+                       workers: int = 4, executor: str = "process",
+                       repeats: int = 3) -> str:
+    """Serial-vs-parallel speedup benchmark; returns the artifact path.
+
+    Runs one template instance over ``num_series`` partitions with the
+    serial engine and with the requested parallel backend, asserts the
+    results are identical, and records per-run wall times plus the
+    speedup in ``BENCH_parallel_<template>.json``.  The recorded
+    ``cpu_count`` qualifies the speedup: a single-core runner cannot
+    show one regardless of backend (docs/PARALLELISM.md).
+    """
+    import os
+
+    from repro.datasets import load
+    from repro.queries import get_template
+
+    template = get_template(template_name)
+    table = load(template.dataset, num_series=num_series, length=length)
+    query = template.compile(template.param_sets()[0])
+    series_list = table.partition(query.partition_by, query.order_by)
+
+    def run(engine: TRexEngine) -> Tuple[List[float], object]:
+        walls = []
+        result = None
+        for _ in range(repeats):
+            result = engine.execute_query(query, series_list)
+            walls.append(result.execution_wall_seconds)
+        return walls, result
+
+    serial_walls, serial_result = run(TRexEngine(executor="serial"))
+    parallel_walls, parallel_result = run(
+        TRexEngine(executor=executor, workers=workers))
+    assert serial_result.matches_by_key() == \
+        parallel_result.matches_by_key(), \
+        f"{executor} executor changed the match set"
+
+    serial_best = min(serial_walls)
+    parallel_best = min(parallel_walls)
+    payload = {
+        "benchmark": "parallel",
+        "template": template.name,
+        "dataset": template.dataset,
+        "num_series": num_series,
+        "length": length,
+        "executor": executor,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "total_matches": serial_result.total_matches,
+        "serial_wall_seconds": serial_walls,
+        "parallel_wall_seconds": parallel_walls,
+        "parallel_worker_seconds_sum": parallel_result.execution_seconds,
+        "speedup": serial_best / max(parallel_best, 1e-9),
+    }
+    return write_bench_artifact(out_dir, f"parallel_{template.name}",
+                                payload)
+
+
 # ---------------------------------------------------------------------------
 # Formatting helpers
 # ---------------------------------------------------------------------------

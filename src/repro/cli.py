@@ -73,6 +73,8 @@ def _engine_options(args) -> Dict[str, object]:
         "on_error": args.on_error,
         "max_segments": args.max_segments,
         "timeout_seconds": args.timeout,
+        "executor": args.executor,
+        "workers": args.workers,
     }
 
 
@@ -236,6 +238,15 @@ def cmd_templates(_args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.parallel:
+        from repro.bench.runner import run_bench_parallel
+        path = run_bench_parallel(
+            args.out, template_name=args.template,
+            num_series=max(args.series, 8), length=args.length,
+            workers=args.bench_workers,
+            executor=args.bench_executor)
+        print(f"wrote {path}")
+        return 0
     from repro.bench.runner import run_bench_smoke
     path = run_bench_smoke(args.out, template_name=args.template,
                            num_series=args.series, length=args.length,
@@ -291,6 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nan-policy", default="allow",
                        choices=["allow", "raise", "omit"],
                        help="non-finite value handling for --csv input")
+        p.add_argument("--executor", default=None,
+                       choices=["serial", "thread", "process"],
+                       help="per-series execution backend (default: "
+                            "$TREX_EXECUTOR or serial; docs/PARALLELISM.md)")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker-pool size for parallel executors "
+                            "(default: $TREX_WORKERS or a CPU heuristic)")
 
     q = sub.add_parser("query", help="run a pattern query")
     add_query_options(q)
@@ -343,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parameter sets to run (prefix of the grid)")
     b.add_argument("--timeout", type=float, default=30.0,
                    help="per-strategy timeout in seconds")
+    b.add_argument("--parallel", action="store_true",
+                   help="run the serial-vs-parallel speedup benchmark "
+                        "instead of the optimizer smoke run")
+    b.add_argument("--executor", dest="bench_executor", default="process",
+                   choices=["thread", "process"],
+                   help="parallel backend for --parallel")
+    b.add_argument("--workers", dest="bench_workers", type=int, default=4,
+                   help="worker count for --parallel")
     b.set_defaults(fn=cmd_bench)
     return parser
 

@@ -21,13 +21,15 @@ indexes entirely.
 
 from __future__ import annotations
 
-import heapq
 import logging
+import os
 import time
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.plancache import PlanCache
 from repro.core.result import QueryResult, SeriesError, SeriesMatches
+from repro.core.sink import MatchSink, truncate_matches
 from repro.errors import (PlanError, QueryLintError, QueryTimeout, TRexError,
                           error_kind)
 from repro.exec.base import ExecContext, PhysicalOperator
@@ -55,55 +57,9 @@ def _resolve_rule_strategy(label: str):
                     f"{[s.label for s in BASELINE_STRATEGIES_WITH_NOT]}")
 
 
-class _MatchSink:
-    """Incremental, deduplicating collector of match bounds.
-
-    Partial state lives on the instance, so when a fault or budget stops
-    the stream mid-way, :meth:`finish` still yields a sorted,
-    duplicate-free subset of what the uninterrupted run would produce —
-    the invariant the ``'partial'`` error policy guarantees.
-
-    With a ``limit`` the kept subset is the positionally-smallest
-    matches (bounded max-heap): plan emission order differs across
-    optimizers, so keeping the first N emitted would silently return
-    different subsets for the same query.
-    """
-
-    def __init__(self, limit: Optional[int]):
-        self.limit = limit
-        self._seen: set = set()
-        self._matches: List[Tuple[int, int]] = []
-        self._heap: List[Tuple[int, int]] = []  # max-heap via negated bounds
-
-    def consume(self, segments: Iterable, ctx: ExecContext) -> None:
-        limit = self.limit
-        charge = ctx.segment_budget is not None
-        if limit is None:
-            for segment in segments:
-                bounds = segment.bounds
-                if bounds not in self._seen:
-                    if charge:
-                        ctx.charge()
-                    self._seen.add(bounds)
-                    self._matches.append(bounds)
-            return
-        for segment in segments:
-            bounds = segment.bounds
-            if bounds in self._seen:
-                continue
-            if charge:
-                ctx.charge()
-            self._seen.add(bounds)
-            item = (-bounds[0], -bounds[1])
-            if len(self._heap) < limit:
-                heapq.heappush(self._heap, item)
-            elif item > self._heap[0]:
-                heapq.heapreplace(self._heap, item)
-
-    def finish(self) -> List[Tuple[int, int]]:
-        if self.limit is None:
-            return sorted(self._matches)
-        return sorted((-s, -e) for s, e in self._heap)
+#: Backwards-compatible alias — the sink moved to :mod:`repro.core.sink`
+#: so the parallel workers share the exact truncation semantics.
+_MatchSink = MatchSink
 
 
 class TRexEngine:
@@ -117,7 +73,10 @@ class TRexEngine:
                  analyze: bool = False,
                  on_error: str = "raise",
                  max_segments: Optional[int] = None,
-                 planning_timeout_seconds: Optional[float] = None):
+                 planning_timeout_seconds: Optional[float] = None,
+                 executor: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 plan_cache: Union[bool, PlanCache, None] = None):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
@@ -133,6 +92,13 @@ class TRexEngine:
         if planning_timeout_seconds is not None \
                 and planning_timeout_seconds <= 0:
             raise PlanError("planning_timeout_seconds must be positive")
+        if executor is None:
+            executor = os.environ.get("TREX_EXECUTOR") or "serial"
+        if executor not in ("serial", "thread", "process"):
+            raise PlanError(f"executor must be 'serial', 'thread' or "
+                            f"'process', got {executor!r}")
+        if workers is not None and workers < 1:
+            raise PlanError("workers must be >= 1")
         self.optimizer = optimizer
         self.sharing = sharing
         #: Wall-clock budget for one execute_query() call, planning
@@ -165,6 +131,22 @@ class TRexEngine:
         #: triggers the rule-based (``pr_left``) planner fallback
         #: instead of failing the query.
         self.planning_timeout_seconds = planning_timeout_seconds
+        #: Per-series execution backend: ``'serial'`` (byte-identical to
+        #: the historical engine), ``'thread'`` or ``'process'``.  When
+        #: the constructor argument is None the ``TREX_EXECUTOR``
+        #: environment variable decides (docs/PARALLELISM.md).
+        self.executor = executor
+        #: Worker-pool size for the parallel backends; None defers to
+        #: ``TREX_WORKERS`` or a CPU-count heuristic at dispatch time.
+        self.workers = workers
+        #: Keyed compile/plan cache (:mod:`repro.core.plancache`):
+        #: ``True`` builds an engine-private cache, or pass a shared
+        #: :class:`PlanCache`.
+        if plan_cache is True:
+            plan_cache = PlanCache()
+        elif plan_cache is False:
+            plan_cache = None
+        self.plan_cache: Optional[PlanCache] = plan_cache
         #: Reason string for the most recent build_plan() fallback, or
         #: None when the requested planner was used.
         self.last_planner_fallback: Optional[str] = None
@@ -253,8 +235,40 @@ class TRexEngine:
     def execute(self, table: Table, query_text: str,
                 params: Optional[Dict[str, object]] = None) -> QueryResult:
         """Parse, plan and execute a query over a table."""
-        query = compile_query(query_text, params)
+        if self.plan_cache is not None:
+            query = self.plan_cache.compile(query_text, params)
+        else:
+            query = compile_query(query_text, params)
         return self.execute_query(query, table)
+
+    def _plan_with_cache(self, query: Query, logical: LogicalNode,
+                         non_empty: List[Series],
+                         deadline: Optional[float],
+                         planning_deadline: Optional[float]) \
+            -> Tuple[PhysicalOperator, Optional[str]]:
+        """build_plan() through the plan cache; returns (plan, status).
+
+        ``status`` is ``'hit'``/``'miss'`` when a cache is configured,
+        None otherwise.  Cached entries carry the planner-fallback
+        reason recorded at build time, so a cached fallback plan is
+        still reported as one on every reuse.
+        """
+        cache = self.plan_cache
+        if cache is None:
+            return self.build_plan(query, logical, non_empty,
+                                   deadline=deadline,
+                                   planning_deadline=planning_deadline), None
+        key = cache.plan_key(query, self.optimizer, self.sharing, non_empty)
+        entry = cache.get_plan(key)
+        if entry is not None:
+            plan, fallback = entry
+            self.last_planner_fallback = fallback
+            return plan, "hit"
+        plan = self.build_plan(query, logical, non_empty,
+                               deadline=deadline,
+                               planning_deadline=planning_deadline)
+        cache.put_plan(key, (plan, self.last_planner_fallback))
+        return plan, "miss"
 
     def execute_query(self, query: Query,
                       table: Union[Table, List[Series]]) -> QueryResult:
@@ -283,9 +297,8 @@ class TRexEngine:
         if self.planning_timeout_seconds is not None:
             planning_deadline = t0 + self.planning_timeout_seconds
         try:
-            plan = self.build_plan(query, logical, non_empty,
-                                   deadline=deadline,
-                                   planning_deadline=planning_deadline)
+            plan, cache_status = self._plan_with_cache(
+                query, logical, non_empty, deadline, planning_deadline)
         except QueryTimeout as exc:
             if self.on_error == "raise":
                 raise
@@ -299,9 +312,42 @@ class TRexEngine:
         result.planning_seconds = t1 - t0
         result.plan_explain = plan.explain()
         result.planner_fallback = self.last_planner_fallback
+        if self.plan_cache is not None:
+            counters: Dict[str, object] = dict(self.plan_cache.counters())
+            counters["plan"] = cache_status
+            result.plan_cache = counters
         # Analyze mode evaluates an instrumented shallow copy; the
         # original plan is untouched, so disabled mode pays nothing.
         exec_plan = instrument_plan(plan) if self.analyze else plan
+        if self.executor == "serial":
+            total_metrics = self._execute_serial(
+                result, plan, exec_plan, query, series_list, deadline)
+        else:
+            total_metrics = self._execute_parallel(
+                result, plan, exec_plan, query, series_list, deadline)
+        result.execution_wall_seconds = time.perf_counter() - t1
+        if total_metrics is not None:
+            total_metrics.finalize(plan)
+            result.op_metrics = total_metrics
+            result.plan_analyze = total_metrics.annotate(plan)
+            result.analyze_tree = total_metrics.tree_dict(plan)
+            if result.plan_cache is not None:
+                result.plan_analyze = (
+                    f":: plan cache: {result.plan_cache['plan']} "
+                    f"(plan_hits={result.plan_cache['plan_hits']} "
+                    f"plan_misses={result.plan_cache['plan_misses']})\n"
+                    + result.plan_analyze)
+            if result.planner_fallback:
+                result.plan_analyze = (
+                    f"!! planner fallback: {result.planner_fallback}\n"
+                    + result.plan_analyze)
+        return result
+
+    def _execute_serial(self, result: QueryResult, plan: PhysicalOperator,
+                        exec_plan: PhysicalOperator, query: Query,
+                        series_list: List[Series],
+                        deadline: Optional[float]) -> Optional[RunMetrics]:
+        """The historical strictly-ordered per-series loop (unchanged)."""
         total_metrics = RunMetrics() if self.analyze else None
         exec_seconds = 0.0
         remaining = self.max_matches
@@ -355,16 +401,152 @@ class TRexEngine:
                     and ctx.metrics is not None:
                 total_metrics.merge(ctx.metrics)
         result.execution_seconds = exec_seconds
-        if total_metrics is not None:
-            total_metrics.finalize(plan)
-            result.op_metrics = total_metrics
-            result.plan_analyze = total_metrics.annotate(plan)
-            result.analyze_tree = total_metrics.tree_dict(plan)
-            if result.planner_fallback:
-                result.plan_analyze = (
-                    f"!! planner fallback: {result.planner_fallback}\n"
-                    + result.plan_analyze)
-        return result
+        return total_metrics
+
+    def _execute_parallel(self, result: QueryResult, plan: PhysicalOperator,
+                          exec_plan: PhysicalOperator, query: Query,
+                          series_list: List[Series],
+                          deadline: Optional[float]) -> Optional[RunMetrics]:
+        """Fan the per-series loop over a worker pool, then settle.
+
+        Workers run every non-empty series concurrently with the *full*
+        budgets; the merge below walks series in their deterministic
+        order, maintains the exact serial budget remainders, and accepts
+        each worker outcome only when a serial run would have produced
+        the same one.  The single series where a budget boundary falls
+        is replayed serially with the exact remaining budget, so the
+        merged ``QueryResult`` is identical to the serial engine's
+        (docs/PARALLELISM.md).
+        """
+        from repro.core import parallel as par
+
+        ledger = None
+        if self.max_segments is not None and self.executor == "thread":
+            # Cross-worker early-abort for globally blown budgets; the
+            # process backend settles purely at merge time.
+            ledger = par.SegmentLedger(self.max_segments)
+        tasks = [
+            par.SeriesTask(index=index, series=series,
+                           limit=self.max_matches,
+                           segment_budget=self.max_segments,
+                           deadline=deadline, analyze=self.analyze)
+            for index, series in enumerate(series_list) if len(series)
+        ]
+        outcomes = par.dispatch(
+            self.executor, self.workers, plan, exec_plan, query, tasks,
+            ledger=ledger, log_unexpected=self.on_error != "raise")
+
+        total_metrics = RunMetrics() if self.analyze else None
+        exec_seconds = 0.0
+        remaining = self.max_matches
+        seg_remaining = self.max_segments
+        stopped = False
+        for index, series in enumerate(series_list):
+            if stopped or len(series) == 0 \
+                    or (remaining is not None and remaining <= 0):
+                result.per_series.append(SeriesMatches(series.key, []))
+                continue
+            outcome = outcomes[index]
+            if seg_remaining is not None and self._needs_replay(
+                    outcome, seg_remaining):
+                outcome = self._replay_series(
+                    exec_plan, plan, series, query, deadline,
+                    limit=remaining, segment_budget=seg_remaining,
+                    index=index)
+            if outcome.error is not None and self.on_error == "raise":
+                # First failure in series order propagates, as in the
+                # serial loop (later workers' results are discarded).
+                raise outcome.error
+            exec_seconds += outcome.seconds
+            # Global max_matches settles deterministically here: each
+            # worker kept its positionally-smallest max_matches bounds
+            # (sorted), so the serial engine's per-series remainder is
+            # a plain prefix of the worker's kept list.
+            entry = SeriesMatches(
+                series.key,
+                truncate_matches(outcome.matches, remaining),
+                stats=outcome.stats,
+                seconds=outcome.seconds,
+                metrics=outcome.metrics)
+            if outcome.error is not None:
+                kind = error_kind(outcome.error)
+                keep_partial = self.on_error == "partial"
+                if not keep_partial:
+                    entry.matches = []
+                entry.error = SeriesError(
+                    series.key, type(outcome.error).__name__,
+                    " ".join(str(outcome.error).split()), kind,
+                    partial=keep_partial and bool(entry.matches))
+                if kind in ("timeout", "budget"):
+                    result.interrupted = True
+                    result.degradation = f"{kind}: {entry.error.message}"
+                    stopped = True
+            if remaining is not None:
+                remaining -= len(entry.matches)
+            if seg_remaining is not None:
+                seg_remaining = max(
+                    0, seg_remaining - outcome.segments_charged)
+                if seg_remaining == 0 and not stopped \
+                        and self.on_error != "raise":
+                    result.interrupted = True
+                    result.degradation = (
+                        f"budget: max_segments={self.max_segments} "
+                        f"consumed")
+                    stopped = True
+            result.per_series.append(entry)
+            if total_metrics is not None and outcome.metrics is not None:
+                total_metrics.merge(outcome.metrics)
+        result.execution_seconds = exec_seconds
+        return total_metrics
+
+    def _needs_replay(self, outcome, seg_remaining: int) -> bool:
+        """Does the serial budget remainder invalidate this outcome?
+
+        A worker ran with the *full* ``max_segments`` budget (or was cut
+        short by the shared ledger).  Its outcome stands only if a
+        serial run arriving at this series with ``seg_remaining`` left
+        would have behaved identically: it charged no more than the
+        remainder, and any budget failure happened against exactly the
+        budget the serial run would have used.
+        """
+        if outcome.segments_charged > seg_remaining:
+            return True
+        if outcome.error is None or error_kind(outcome.error) != "budget":
+            return False
+        # Budget failure against the full budget is only authoritative
+        # when the serial remainder *is* the full budget and the raise
+        # came from the series' own accounting, not the shared ledger.
+        return outcome.ledger_exhausted or seg_remaining != self.max_segments
+
+    def _replay_series(self, exec_plan: PhysicalOperator,
+                       plan: PhysicalOperator, series: Series, query: Query,
+                       deadline: Optional[float], limit: Optional[int],
+                       segment_budget: Optional[int], index: int):
+        """Re-run one series serially with the exact remaining budgets.
+
+        Budget exhaustion is deterministic (it depends only on the
+        series, the plan and the numeric remainder), so this replay
+        reproduces the serial engine's boundary behavior bit-for-bit —
+        including the partial harvest and the precise raise point.
+        Exceptions propagate per the engine's ``on_error`` policy, as
+        they would in the serial loop.
+        """
+        from repro.core import parallel as par
+
+        t2 = time.perf_counter()
+        matches, ctx, error = self._execute_series(
+            exec_plan, series, query, deadline=deadline,
+            limit=limit, segment_budget=segment_budget)
+        seconds = time.perf_counter() - t2
+        if ctx is not None and ctx.metrics is not None:
+            ctx.metrics.finalize(plan)
+        return par.SeriesOutcome(
+            index=index, matches=matches,
+            stats=ctx.stats if ctx is not None else Counter(),
+            seconds=seconds,
+            metrics=ctx.metrics if ctx is not None else None,
+            segments_charged=ctx.segments_charged if ctx is not None else 0,
+            error=error)
 
     def explain_match(self, query: Query, series: Series, start: int,
                       end: int):

@@ -78,7 +78,18 @@ class QueryResult:
     per_series: List[SeriesMatches] = field(default_factory=list)
     plan_explain: str = ""
     planning_seconds: float = 0.0
+    #: Sum of per-series execution times (worker wall-times).  Under a
+    #: concurrent executor this exceeds the elapsed wall time — compare
+    #: with :attr:`execution_wall_seconds` (docs/PARALLELISM.md).
     execution_seconds: float = 0.0
+    #: Elapsed wall time of the execution phase (dispatch to merge).
+    #: Equals :attr:`execution_seconds` up to accounting noise when the
+    #: engine runs serially; smaller under parallel executors.
+    execution_wall_seconds: float = 0.0
+    #: Plan/compile-cache counters for this engine's cache, plus this
+    #: query's own ``"plan"`` hit/miss status (``plan_cache=`` engines
+    #: only).
+    plan_cache: Optional[Dict[str, object]] = None
     #: Aggregate per-operator metrics across series (analyze mode only).
     op_metrics: Optional[RunMetrics] = None
     #: Plan tree annotated with runtime metrics (analyze mode only).
@@ -142,6 +153,7 @@ class QueryResult:
             "total_matches": self.total_matches,
             "planning_seconds": self.planning_seconds,
             "execution_seconds": self.execution_seconds,
+            "execution_wall_seconds": self.execution_wall_seconds,
             "interrupted": self.interrupted,
             "stats": dict(self.stats),
             "per_series": [
@@ -158,6 +170,8 @@ class QueryResult:
         }
         if self.degradation is not None:
             data["degradation"] = self.degradation
+        if self.plan_cache is not None:
+            data["plan_cache"] = dict(self.plan_cache)
         if self.planner_fallback is not None:
             data["planner_fallback"] = self.planner_fallback
         errors = self.errors

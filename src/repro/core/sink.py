@@ -1,0 +1,78 @@
+"""Match collection: incremental, deduplicating, deterministically bounded.
+
+Shared by the serial engine loop and the parallel per-series workers
+(:mod:`repro.core.parallel`), so both paths keep byte-identical
+truncation semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exec.base import ExecContext
+
+
+class MatchSink:
+    """Incremental, deduplicating collector of match bounds.
+
+    Partial state lives on the instance, so when a fault or budget stops
+    the stream mid-way, :meth:`finish` still yields a sorted,
+    duplicate-free subset of what the uninterrupted run would produce —
+    the invariant the ``'partial'`` error policy guarantees.
+
+    With a ``limit`` the kept subset is the positionally-smallest
+    matches (bounded max-heap): plan emission order differs across
+    optimizers, so keeping the first N emitted would silently return
+    different subsets for the same query.
+    """
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self._seen: set = set()
+        self._matches: List[Tuple[int, int]] = []
+        self._heap: List[Tuple[int, int]] = []  # max-heap via negated bounds
+
+    def consume(self, segments: Iterable, ctx: ExecContext) -> None:
+        limit = self.limit
+        charge = ctx.segment_budget is not None
+        if limit is None:
+            for segment in segments:
+                bounds = segment.bounds
+                if bounds not in self._seen:
+                    if charge:
+                        ctx.charge()
+                    self._seen.add(bounds)
+                    self._matches.append(bounds)
+            return
+        for segment in segments:
+            bounds = segment.bounds
+            if bounds in self._seen:
+                continue
+            if charge:
+                ctx.charge()
+            self._seen.add(bounds)
+            item = (-bounds[0], -bounds[1])
+            if len(self._heap) < limit:
+                heapq.heappush(self._heap, item)
+            elif item > self._heap[0]:
+                heapq.heapreplace(self._heap, item)
+
+    def finish(self) -> List[Tuple[int, int]]:
+        if self.limit is None:
+            return sorted(self._matches)
+        return sorted((-s, -e) for s, e in self._heap)
+
+
+def truncate_matches(matches: List[Tuple[int, int]],
+                     limit: Optional[int]) -> List[Tuple[int, int]]:
+    """The positionally-smallest ``limit`` matches of a sorted list.
+
+    A :class:`MatchSink` with limit ``K`` keeps exactly
+    ``sorted(unique)[:K]``, so re-truncating a kept list to a smaller
+    limit is a plain prefix — the property the parallel merge step uses
+    to settle a global ``max_matches`` budget deterministically.
+    """
+    if limit is None:
+        return matches
+    return matches[:max(0, limit)]

@@ -81,6 +81,17 @@ class ResourceBudgetExceeded(ExecutionError):
     """
 
 
+class WorkerCrashed(ExecutionError):
+    """A parallel worker died or produced an unserializable failure.
+
+    Raised by the process backend when a pool worker exits abnormally
+    (OOM-kill, segfault, unpicklable exception).  Classified as an
+    ordinary per-series ``'execution'`` fault so the ``on_error``
+    policies isolate it like any other operator failure
+    (docs/PARALLELISM.md).
+    """
+
+
 class DataError(TRexError):
     """Input data is malformed (unsorted timestamps, ragged columns, ...)."""
 

@@ -31,6 +31,7 @@ from repro.timeseries.segment import Segment
 from repro.timeseries.series import Series
 
 if TYPE_CHECKING:
+    from repro.core.parallel import SegmentLedger as SegmentLedgerLike
     from repro.exec.metrics import RunMetrics
 
 Env = Dict[str, Tuple[int, int]]
@@ -91,7 +92,8 @@ class ExecContext:
                  registry: AggregateRegistry = DEFAULT_REGISTRY,
                  deadline: Optional[float] = None,
                  metrics: Optional["RunMetrics"] = None,
-                 segment_budget: Optional[int] = None):
+                 segment_budget: Optional[int] = None,
+                 ledger: Optional["SegmentLedgerLike"] = None):
         self.series = series
         self.registry = registry
         self.stats: Counter = Counter()
@@ -111,6 +113,11 @@ class ExecContext:
         #: Segments charged against the budget so far (engine-accounted
         #: across series when the budget is global to a query).
         self.segments_charged = 0
+        #: Optional cross-series budget ledger shared by concurrent
+        #: workers (see :class:`repro.core.parallel.SegmentLedger`).
+        #: Serial execution never sets one, so its accounting is
+        #: untouched by the parallel engine.
+        self.ledger = ledger
 
     def count(self, op: "PhysicalOperator", name: str, n: int = 1) -> None:
         """Attribute a named event to ``op`` (no-op unless analyzing)."""
@@ -145,6 +152,8 @@ class ExecContext:
             raise ResourceBudgetExceeded(
                 f"query exceeded max_segments={self.segment_budget} "
                 f"({self.segments_charged} segments materialized)")
+        if self.ledger is not None:
+            self.ledger.charge(n)
 
     def aggregate_index(self, agg: Aggregate, call: E.AggCall,
                         extra: Tuple[float, ...]) -> AggregateIndex:

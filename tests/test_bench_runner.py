@@ -119,6 +119,29 @@ class TestBenchArtifacts:
         assert "plan" in analyze
         assert "SegGen" in data["plan_analyze"]
 
+    def test_run_bench_parallel_emits_artifact(self, tmp_path):
+        import json
+        import os
+
+        from repro.bench.runner import run_bench_parallel
+        path = run_bench_parallel(str(tmp_path), num_series=8, length=60,
+                                  workers=2, repeats=2)
+        assert path.endswith("BENCH_parallel_v_shape.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["benchmark"] == "parallel"
+        assert data["executor"] == "process"
+        assert data["workers"] == 2
+        assert data["num_series"] == 8
+        assert data["cpu_count"] == os.cpu_count()
+        assert len(data["serial_wall_seconds"]) == 2
+        assert len(data["parallel_wall_seconds"]) == 2
+        assert data["speedup"] > 0
+        # A genuine speedup is only physically possible with spare
+        # cores; single-core runners record the honest ratio instead.
+        if (os.cpu_count() or 1) >= 4:
+            assert data["speedup"] > 1.0
+
 
 class TestFormatting:
     def test_format_table_alignment(self):

@@ -60,6 +60,15 @@ FAMILY_QUERIES = {
 
 
 @pytest.fixture(autouse=True)
+def serial_executor(monkeypatch):
+    # Fault hit-counts (``@N``) index the *serial* cross-series firing
+    # order; under a parallel executor the order (and, for processes,
+    # the counter itself) is per-worker.  Concurrent fault semantics are
+    # covered by tests/test_parallel_chaos.py.
+    monkeypatch.delenv("TREX_EXECUTOR", raising=False)
+
+
+@pytest.fixture(autouse=True)
 def clean_faults():
     faults.disarm_all()
     yield

@@ -48,6 +48,9 @@ def run_cli(*args, faults_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")
     env.pop("TREX_FAULTS", None)
+    # Fault hit-counts index the serial cross-series firing order;
+    # parallel CLI runs are covered by tests/test_parallel_chaos.py.
+    env.pop("TREX_EXECUTOR", None)
     if faults_env is not None:
         env["TREX_FAULTS"] = faults_env
     return subprocess.run(
