@@ -44,13 +44,37 @@ class _CountIndex(AggregateIndex):
 
 
 class _StdIndex(AggregateIndex):
-    __slots__ = ("_sums", "_squares")
+    """Prefix-sum stddev with two numeric guards the naive E[x^2] - E[x]^2
+    formula lacks:
+
+    * values are shifted by the series mean before squaring, so the two
+      terms are of comparable (small) magnitude instead of cancelling
+      catastrophically for segments far from zero;
+    * constant segments are detected exactly via run lengths and answer
+      0.0 outright — cancellation noise in the prefix sums can otherwise
+      make ``stddev(plateau) > 0`` flicker between shared and unshared
+      evaluation.
+    """
+
+    __slots__ = ("_sums", "_squares", "_finite", "_run_end")
 
     def __init__(self, values: np.ndarray):
-        self._sums = PrefixSums(values)
-        self._squares = PrefixSums(values * values)
+        finite = np.isfinite(values)
+        shift = float(np.mean(values[finite])) if bool(finite.any()) else 0.0
+        deltas = values - shift
+        self._sums = PrefixSums(deltas)
+        self._squares = PrefixSums(deltas * deltas)
+        self._finite = finite
+        n = len(values)
+        run_end = np.arange(n, dtype=np.int64)
+        for i in range(n - 2, -1, -1):
+            if values[i] == values[i + 1]:
+                run_end[i] = run_end[i + 1]
+        self._run_end = run_end
 
     def lookup(self, start: int, end: int) -> float:
+        if self._run_end[start] >= end:
+            return 0.0 if bool(self._finite[start]) else math.nan
         n = end - start + 1
         mean = self._sums.range_sum(start, end) / n
         mean_sq = self._squares.range_sum(start, end) / n
@@ -161,7 +185,15 @@ class StdDevAggregate(_OneColumnAggregate):
     name = "stddev"
 
     def _direct(self, values):
-        return float(np.std(values)) if len(values) else 0.0
+        if not len(values):
+            return 0.0
+        # Constant segments answer exactly 0.0 on both evaluation paths
+        # (see _StdIndex); np.std on a plateau returns ~1e-17 noise when
+        # the mean is not representable.  NaNs fail the equality and fall
+        # through to np.std, which propagates them.
+        if bool(np.all(values == values[0])):
+            return 0.0
+        return float(np.std(values))
 
     def _index(self, values):
         return _StdIndex(values)

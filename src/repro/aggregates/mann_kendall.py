@@ -46,10 +46,12 @@ def mann_kendall_z(values: np.ndarray) -> float:
     n = len(values)
     if n < 2:
         return 0.0
-    s = 0
+    # Accumulate as float: sign(nan) is nan, and int(nan) raises where the
+    # indexed path would quietly fold the NaN into Z == 0.0 via _z_from_s.
+    s = 0.0
     for j in range(1, n):
-        s += int(np.sum(np.sign(values[j] - values[:j])))
-    return _z_from_s(float(s), n)
+        s += float(np.sum(np.sign(values[j] - values[:j])))
+    return _z_from_s(s, n)
 
 
 class _MannKendallIndex(AggregateIndex):

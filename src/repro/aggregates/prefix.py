@@ -14,18 +14,39 @@ import numpy as np
 class PrefixSums:
     """Accumulative sums with a leading zero for O(1) range sums.
 
-    ``range_sum(i, j)`` returns ``sum(values[i..j])`` inclusive.
+    ``range_sum(i, j)`` returns ``sum(values[i..j])`` inclusive.  A single
+    NaN (or inf) in the raw cumulative array would poison every range at or
+    after it — ``nan - nan`` is ``nan`` even for ranges that do not contain
+    the bad point — so non-finite inputs are zeroed out of the cumulative
+    array and ranges that actually contain one fall back to a direct
+    ``np.sum`` over the stored values, matching unshared evaluation.
     """
 
-    __slots__ = ("_sums",)
+    __slots__ = ("_sums", "_values", "_dirty")
 
     def __init__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=np.float64)
+        finite = np.isfinite(values)
+        if bool(finite.all()):
+            clean = values
+            self._values = None
+            self._dirty = None
+        else:
+            clean = np.where(finite, values, 0.0)
+            dirty = np.empty(len(values) + 1, dtype=np.int64)
+            dirty[0] = 0
+            np.cumsum(~finite, out=dirty[1:])
+            self._values = values
+            self._dirty = dirty
         sums = np.empty(len(values) + 1, dtype=np.float64)
         sums[0] = 0.0
-        np.cumsum(values, out=sums[1:])
+        np.cumsum(clean, out=sums[1:])
         self._sums = sums
 
     def range_sum(self, start: int, end: int) -> float:
+        if self._dirty is not None and \
+                self._dirty[end + 1] - self._dirty[start]:
+            return float(np.sum(self._values[start:end + 1]))
         return float(self._sums[end + 1] - self._sums[start])
 
     def range_mean(self, start: int, end: int) -> float:
@@ -66,9 +87,13 @@ class SparseTable:
         return float(self._reduce(row[start], row[end - span + 1]))
 
 
-def pairwise_sign_matrix_row(values: np.ndarray, j: int) -> int:
-    """Sum of ``sign(values[j] - values[k])`` for ``k < j`` (helper)."""
+def pairwise_sign_matrix_row(values: np.ndarray, j: int) -> float:
+    """Sum of ``sign(values[j] - values[k])`` for ``k < j`` (helper).
+
+    Accumulated as float: ``sign`` of a NaN difference is NaN, and casting
+    that to int raises instead of propagating.
+    """
     if j == 0:
-        return 0
+        return 0.0
     diffs = values[j] - values[:j]
-    return int(np.sum(np.sign(diffs)))
+    return float(np.sum(np.sign(diffs)))

@@ -254,6 +254,14 @@ class AFAExecutor:
         def extend(position: int, reps: int) -> Iterator[int]:
             for end, _env in self._ends(node.child, position, refs):
                 if node.gap == 0 and end == position:
+                    # Zero-progress repetitions cannot chain, but a lone
+                    # zero-width repetition is a complete match when it is
+                    # both the first and the final one (the final
+                    # repetition may cover the remaining — possibly
+                    # single-point — span).
+                    if (reps == 0 and node.min_reps <= 1
+                            and node.window.accepts(series, start, end)):
+                        yield end
                     continue
                 new_reps = reps + 1
                 if node.max_reps is not None and new_reps > node.max_reps:

@@ -12,7 +12,11 @@ Commands:
 * ``templates`` — list the paper's query templates;
 * ``profile`` — run the offline cost-parameter profiling (Tables 5 & 6);
 * ``bench``   — downscaled benchmark smoke run emitting a machine-readable
-  ``BENCH_*.json`` metrics artifact.
+  ``BENCH_*.json`` metrics artifact;
+* ``fuzz``    — grammar-level differential fuzzing campaign: seeded random
+  queries and series run through every executor against the brute-force
+  oracle, with metamorphic relations and delta-debugged reproducers
+  (docs/FUZZING.md); emits a ``FUZZ_summary_seed*.json`` artifact.
 
 Examples::
 
@@ -269,6 +273,54 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+
+    from repro.testing.fuzz import case_name, run_fuzz
+
+    started = time.perf_counter()
+
+    def on_case(produced: int) -> None:
+        if args.progress and produced % 25 == 0:
+            elapsed = time.perf_counter() - started
+            print(f"  {produced}/{args.queries} queries "
+                  f"({elapsed:.1f}s)", file=sys.stderr)
+
+    report = run_fuzz(queries=args.queries, seed=args.seed,
+                      series_per_query=args.series_per_query,
+                      max_nodes=args.max_nodes,
+                      minimize=not args.no_minimize,
+                      on_case=on_case)
+    elapsed = time.perf_counter() - started
+    summary = report.to_dict()
+    summary["elapsed_seconds"] = round(elapsed, 3)
+    os.makedirs(args.out, exist_ok=True)
+    out_path = os.path.join(args.out, f"FUZZ_summary_seed{args.seed}.json")
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"seed {args.seed}: {report.cases_checked} cases, "
+          f"{report.oracle_checks} oracle checks, "
+          f"{report.metamorphic_checks} metamorphic checks, "
+          f"{report.queries_rejected} rejected, "
+          f"{len(report.discrepancies)} discrepancies ({elapsed:.1f}s)")
+    print(f"wrote {out_path}")
+    if report.discrepancies:
+        corpus_dir = args.corpus_dir
+        if corpus_dir:
+            os.makedirs(corpus_dir, exist_ok=True)
+        for case in report.minimized:
+            print(f"  {case['kind']}: "
+                  f"{' '.join(str(case['query']).split())[:100]}")
+            print(f"    detail: {str(case['detail'])[:160]}")
+            if corpus_dir:
+                path = os.path.join(corpus_dir, case_name(case))
+                with open(path, "w") as handle:
+                    json.dump(case, handle, indent=2)
+                print(f"    reproducer: {path}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -370,6 +422,29 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workers", dest="bench_workers", type=int, default=4,
                    help="worker count for --parallel")
     b.set_defaults(fn=cmd_bench)
+
+    f = sub.add_parser("fuzz", help="differential fuzzing campaign: random "
+                                    "queries x random series through every "
+                                    "executor against the brute-force "
+                                    "oracle (docs/FUZZING.md)")
+    f.add_argument("--queries", type=int, default=100,
+                   help="number of generated queries")
+    f.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (queries and series derive from it)")
+    f.add_argument("--series-per-query", type=int, default=3,
+                   help="random series checked per query")
+    f.add_argument("--max-nodes", type=int, default=6,
+                   help="pattern size budget for the query generator")
+    f.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging of failing cases")
+    f.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="write minimized reproducers to DIR as replayable "
+                        "JSON (e.g. tests/corpus)")
+    f.add_argument("--out", default="bench-artifacts",
+                   help="directory for the FUZZ_summary artifact")
+    f.add_argument("--progress", action="store_true",
+                   help="print progress to stderr every 25 queries")
+    f.set_defaults(fn=cmd_fuzz)
     return parser
 
 

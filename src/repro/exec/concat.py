@@ -174,8 +174,12 @@ class WildWindowConcat(PhysicalOperator):
     """Fused ``X PAD Y`` concatenation around a window-only padding variable.
 
     Pairs X segments with Y segments directly: a pair joins when the
-    implicit padding segment ``[x.end, y.start]`` satisfies the padding
-    window.  Avoids materializing the (potentially huge) padding segments.
+    implicit padding segment ``[x.end + gap_left, y.start - gap_right]``
+    satisfies the padding window.  ``gap_left``/``gap_right`` are the
+    concatenation join offsets around the eliminated pad — 0 for
+    shared-boundary segment joins, 1 for disjoint point joins; a point pad
+    between two point variables joins ``y.start = x.end + 2``.  Avoids
+    materializing the (potentially huge) padding segments.
     """
 
     name = "WildWindowConcat"
@@ -183,11 +187,14 @@ class WildWindowConcat(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  pad_window: WindowConjunction, window: WindowConjunction,
                  publish: FrozenSet[str] = frozenset(),
-                 requires: FrozenSet[str] = frozenset()):
+                 requires: FrozenSet[str] = frozenset(),
+                 gap_left: int = 0, gap_right: int = 0):
         super().__init__(window, publish=publish, requires=requires)
         self.left = left
         self.right = right
         self.pad_window = pad_window
+        self.gap_left = gap_left
+        self.gap_right = gap_right
 
     def children(self):
         return (self.left, self.right)
@@ -216,15 +223,23 @@ class WildWindowConcat(PhysicalOperator):
                 return
             rights.sort(key=lambda seg: seg.start)
             starts = [seg.start for seg in rights]
+            n = len(ctx.series)
             for left in lefts:
                 ctx.tick()
-                # Admissible pad end positions (= right start positions).
+                pad_start = left.end + self.gap_left
+                if pad_start >= n:
+                    continue
+                # Admissible pad end positions; right starts sit gap_right
+                # past them.
                 pad_lo, pad_hi = self.pad_window.end_range(ctx.series,
-                                                           left.end)
+                                                           pad_start)
+                pad_lo = max(pad_lo, pad_start)
                 # Result end range from the embedded window.
                 e_lo, e_hi = self.window.end_range(ctx.series, left.start)
-                lo_index = bisect.bisect_left(starts, pad_lo)
-                hi_index = bisect.bisect_right(starts, pad_hi)
+                lo_index = bisect.bisect_left(starts,
+                                              pad_lo + self.gap_right)
+                hi_index = bisect.bisect_right(starts,
+                                               pad_hi + self.gap_right)
                 for right in rights[lo_index:hi_index]:
                     ctx.tick()
                     start, end = left.start, right.end

@@ -60,11 +60,17 @@ class MaterializeKleene(PhysicalOperator):
             return
         child_sp = sp.kleene_child()
         by_start: Dict[int, List[int]] = defaultdict(list)
+        singles: Set[int] = set()
         for segment in self.child.eval(ctx, child_sp, refs):
             ctx.tick()
             if self.gap == 0 and segment.duration == 0:
                 # A zero-duration link makes no progress under shared
-                # boundaries; skip it to guarantee termination.
+                # boundaries, so it never joins a chain — but the spec
+                # (DESIGN.md §3, mirrored by the brute-force matcher) lets
+                # the *final* repetition cover whatever remains, so a lone
+                # zero-width repetition is a complete match on its own.
+                if self.min_reps <= 1:
+                    singles.add(segment.start)
                 continue
             if ctx.segment_budget is not None:
                 ctx.charge()
@@ -72,7 +78,7 @@ class MaterializeKleene(PhysicalOperator):
 
         series = ctx.series
         for start in range(sp.s_lo, sp.s_hi + 1):
-            if start not in by_start:
+            if start not in by_start and start not in singles:
                 continue
             # Window pruning: the furthest end a chain from `start` may reach.
             if self.window_aware:
@@ -84,8 +90,14 @@ class MaterializeKleene(PhysicalOperator):
                 e_lo = sp.e_lo
             visited: Set[Tuple[int, int]] = set()
             emitted: Set[int] = set()
+            if (start in singles and e_lo <= start <= e_hi
+                    and self.window.accepts(series, start, start)
+                    and sp.contains(start, start)):
+                emitted.add(start)
+                ctx.stats["segments_emitted"] += 1
+                yield self.emit(Segment(start, start))
             queue = deque()
-            for end in by_start[start]:
+            for end in by_start.get(start, ()):
                 if end <= e_hi:
                     state = (end, 1)
                     if state not in visited:

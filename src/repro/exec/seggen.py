@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator
+from typing import FrozenSet, Iterator, Tuple
 
 from repro.exec.base import Env, ExecContext, PhysicalOperator
 from repro.lang import expr as E
@@ -76,11 +76,17 @@ class _ConditionLeaf(PhysicalOperator):
         # Hoisted metric sink: one is-None check per candidate when off.
         metrics = ctx.metrics
         record = metrics.for_op(self) if metrics is not None else None
-        for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
-                                              sp.e_lo, sp.e_hi):
+        if is_point:
+            # Point variables only ever match start == end: enumerate the
+            # diagonal of the boxed space directly instead of walking the
+            # full start x end box and discarding off-diagonal candidates,
+            # which burned tick/deadline budget quadratically.
+            candidates = self._iter_diagonal(ctx, sp)
+        else:
+            candidates = self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
+                                                 sp.e_lo, sp.e_hi)
+        for start, end in candidates:
             ctx.tick()
-            if is_point and start != end:
-                continue
             ectx = E.EvalContext(ctx.series, start, end, variable=var.name,
                                  refs=refs, provider=provider,
                                  registry=ctx.registry)
@@ -93,6 +99,15 @@ class _ConditionLeaf(PhysicalOperator):
                     yield Segment(start, end, {var.name: (start, end)})
                 else:
                     yield Segment(start, end)
+
+    def _iter_diagonal(self, ctx: ExecContext,
+                       sp: SearchSpace) -> Iterator[Tuple[int, int]]:
+        """Admissible ``(i, i)`` pairs, ascending (sorted by start and end)."""
+        series = ctx.series
+        accepts = self.window.accepts
+        for i in range(max(sp.s_lo, sp.e_lo), min(sp.s_hi, sp.e_hi) + 1):
+            if accepts(series, i, i):
+                yield i, i
 
     def describe(self) -> str:
         return f"{self.name}({self.var.name})"

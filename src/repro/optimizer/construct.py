@@ -219,10 +219,12 @@ class Construction:
 
     def wild_concat(self, left: BuildResult, right: BuildResult,
                     pad_window: WindowConjunction,
-                    window: WindowConjunction) -> BuildResult:
+                    window: WindowConjunction, gap_left: int = 0,
+                    gap_right: int = 0) -> BuildResult:
         publish, requires = self._merged_meta(left.op, right.op)
         op = WildWindowConcat(left.op, right.op, pad_window, window, publish,
-                              requires)
+                              requires, gap_left=gap_left,
+                              gap_right=gap_right)
         return BuildResult(op, left.lifted + right.lifted)
 
     # -- unary ---------------------------------------------------------------

@@ -628,9 +628,13 @@ class CostBasedPlanner:
                            left.out_card + right.out_card + c_out) \
             + left.cost + right.cost
 
+        gap_left = node.gaps[pad_index - 1]
+        gap_right = node.gaps[pad_index]
+
         def build(lc=left, rc=right):
             return construction.wild_concat(lc.build(), rc.build(),
-                                            pad.window, window)
+                                            pad.window, window,
+                                            gap_left, gap_right)
 
         yield Candidate(cost, c_out, left.pending + right.pending,
                         left.provides_publish | right.provides_publish,

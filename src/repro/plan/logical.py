@@ -260,10 +260,15 @@ def _build(node: P.Pattern, query: Query) -> LogicalNode:
         # into every sibling).
         window = WindowConjunction.wild()
         kept: List[LogicalNode] = []
+        referenced = query.referenced_variables()
         for part in parts:
+            # A window-only leaf is only eliminable when nothing reads its
+            # segment: another variable's condition (e.g. ``first(W.val)``)
+            # needs the leaf kept so the reference has a binding.
             is_window_leaf = (isinstance(part, LVar) and part.var.is_segment
                               and part.var.is_window_only
-                              and not part.var.external_refs)
+                              and not part.var.external_refs
+                              and part.var.name not in referenced)
             if is_window_leaf:
                 window = window.and_also(part.window)
             else:

@@ -25,8 +25,23 @@ class SearchSpace:
     e_hi: int
 
     @staticmethod
+    def empty() -> "SearchSpace":
+        """The canonical empty space (``S = E = [0, -1]``).
+
+        All empty spaces produced by :meth:`full` and :meth:`clamp` are
+        normalized to this value so that downstream range arithmetic
+        (``concat_left``/``concat_right`` offsets, ``span_size``) never
+        manipulates arbitrary negative bounds — and in particular never
+        hands a negative position to numpy, where it would silently wrap
+        around to the end of the series.
+        """
+        return _EMPTY
+
+    @staticmethod
     def full(n: int) -> "SearchSpace":
         """The root search space over a series of ``n`` points."""
+        if n <= 0:
+            return _EMPTY
         return SearchSpace(0, n - 1, 0, n - 1)
 
     @staticmethod
@@ -59,9 +74,19 @@ class SearchSpace:
                 and self.e_lo <= end <= self.e_hi and start <= end)
 
     def clamp(self, n: int) -> "SearchSpace":
-        """Clamp the ranges to a series of ``n`` points."""
-        return SearchSpace(max(self.s_lo, 0), min(self.s_hi, n - 1),
-                           max(self.e_lo, 0), min(self.e_hi, n - 1))
+        """Clamp the ranges to a series of ``n`` points.
+
+        Results that admit no segment come back as the canonical
+        :meth:`empty` space rather than as whatever negative bounds the
+        raw clamping arithmetic yields.
+        """
+        if n <= 0:
+            return _EMPTY
+        clamped = SearchSpace(max(self.s_lo, 0), min(self.s_hi, n - 1),
+                              max(self.e_lo, 0), min(self.e_hi, n - 1))
+        if clamped.is_empty():
+            return _EMPTY
+        return clamped
 
     def intersect(self, other: "SearchSpace") -> "SearchSpace":
         return SearchSpace(max(self.s_lo, other.s_lo),
@@ -101,3 +126,6 @@ class SearchSpace:
 
     def describe(self) -> str:
         return (f"(S=[{self.s_lo},{self.s_hi}], E=[{self.e_lo},{self.e_hi}])")
+
+
+_EMPTY = SearchSpace(0, -1, 0, -1)

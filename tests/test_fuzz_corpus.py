@@ -1,0 +1,32 @@
+"""Replay the committed fuzzer reproducers (tests/corpus/*.json).
+
+Every file under tests/corpus/ is a minimized (query, series) case that
+once exposed a real bug — an executor disagreeing with the brute-force
+matcher, a crash, or a planner error.  Replaying them through the full
+backend matrix pins each fix; see docs/FUZZING.md for the corpus format.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.testing.fuzz import BACKENDS, replay_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "tests/corpus/ must hold the fuzzer-found reproducers"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[os.path.basename(p)[:-5]
+                                              for p in CORPUS])
+def test_corpus_case_replays_clean(path):
+    with open(path) as handle:
+        case = json.load(handle)
+    discrepancies = replay_case(case, backends=list(BACKENDS.keys()))
+    detail = "; ".join(f"{d.backend}: {d.detail}" for d in discrepancies)
+    assert not discrepancies, f"{case['detail']} -> {detail}"

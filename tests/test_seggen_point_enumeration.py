@@ -1,0 +1,63 @@
+"""Point-variable leaf enumeration must stay on the diagonal.
+
+A point variable only ever matches single-point segments ``(i, i)``, so a
+``SegGen`` leaf evaluating one must iterate the diagonal of the search
+space — not the full start x end box.  The fuzzer's tick accounting
+exposed the quadratic version: n=40 cost 820 condition evaluations where
+40 suffice.  These tests pin both the match set and the work done.
+"""
+
+import numpy as np
+
+from repro.exec.base import ExecContext
+from repro.lang.query import compile_query
+from repro.optimizer.planner import CostBasedPlanner
+from repro.plan.search_space import SearchSpace
+
+from tests.conftest import make_series
+
+
+def _eval_leaf(query_text, values, space=None):
+    query = compile_query(query_text)
+    series = make_series(values)
+    op = CostBasedPlanner().plan(query, None, series)
+    ctx = ExecContext(series, query.registry)
+    space = space if space is not None else SearchSpace.full(len(series))
+    matches = sorted(seg.bounds for seg in op.eval(ctx, space, {}))
+    return matches, ctx.stats
+
+
+def test_point_leaf_enumeration_is_linear():
+    n = 40
+    matches, stats = _eval_leaf(
+        "ORDER BY tstamp PATTERN P DEFINE P AS P.val > 0.5", np.ones(n))
+    assert matches == [(i, i) for i in range(n)]
+    # Diagonal iteration: one condition evaluation per admissible point,
+    # not one per (start, end) pair of the box (n*(n+1)/2 = 820 here).
+    assert stats["condition_evals"] == n
+
+
+def test_point_leaf_respects_search_space_box():
+    values = np.ones(20)
+    space = SearchSpace(5, 12, 8, 15)
+    matches, stats = _eval_leaf(
+        "ORDER BY tstamp PATTERN P DEFINE P AS P.val > 0.5", values, space)
+    # Diagonal of the box: start and end ranges intersected.
+    assert matches == [(i, i) for i in range(8, 13)]
+    assert stats["condition_evals"] == 5
+
+
+def test_point_leaf_empty_space_does_no_work():
+    matches, stats = _eval_leaf(
+        "ORDER BY tstamp PATTERN P DEFINE P AS P.val > 0.5", np.ones(10),
+        SearchSpace.empty())
+    assert matches == []
+    assert stats["condition_evals"] == 0
+
+
+def test_point_leaf_condition_still_filters():
+    values = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+    matches, stats = _eval_leaf(
+        "ORDER BY tstamp PATTERN P DEFINE P AS P.val > 0.5", values)
+    assert matches == [(0, 0), (2, 2), (4, 4)]
+    assert stats["condition_evals"] == 5

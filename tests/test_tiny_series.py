@@ -1,0 +1,173 @@
+"""Edge cases on empty and tiny series (n in {0, 1, 2}).
+
+The fuzzer's data generator leans hard on degenerate lengths, and several
+bugs hid there (spurious matches on n=1 under WConcat, missing diagonal
+matches under Kleene).  These tests pin the behaviour for every operator
+family: each executor must agree with the brute-force matcher and never
+raise, all the way down to the empty series.  The canonical-empty
+SearchSpace introduced for n=0 is covered at the unit level too.
+"""
+
+import pytest
+
+from repro.baselines import make_executor
+from repro.core.bruteforce import BruteForceMatcher
+from repro.core.engine import TRexEngine
+from repro.lang.query import compile_query
+from repro.plan.search_space import SearchSpace
+
+from tests.conftest import make_series
+
+FAMILY_QUERIES = {
+    "leaf_segment": """
+        ORDER BY tstamp
+        PATTERN S
+        DEFINE SEGMENT S AS avg(S.val) > 0.5
+    """,
+    "leaf_point": """
+        ORDER BY tstamp
+        PATTERN P
+        DEFINE P AS P.val > 0.5
+    """,
+    "concat": """
+        ORDER BY tstamp
+        PATTERN (S P)
+        DEFINE SEGMENT S AS sum(S.val) > 0.5, P AS P.val < 2
+    """,
+    "wconcat_pad": """
+        ORDER BY tstamp
+        PATTERN (S1 P2 P3)
+        DEFINE SEGMENT S1 AS avg(S1.val) > 0.5, P2 AS true,
+          P3 AS P3.val > 0.5
+    """,
+    "and_window": """
+        ORDER BY tstamp
+        PATTERN (S & W)
+        DEFINE SEGMENT S AS count(S.val) >= 1, SEGMENT W AS window(0, 2)
+    """,
+    "or": """
+        ORDER BY tstamp
+        PATTERN (S | P)
+        DEFINE SEGMENT S AS min(S.val) > 0.5, P AS P.val < 0
+    """,
+    "not": """
+        ORDER BY tstamp
+        PATTERN (S & W & ~P)
+        DEFINE SEGMENT S AS max(S.val) > 0.5, SEGMENT W AS window(0, 3),
+          P AS P.val < 0
+    """,
+    "kleene": """
+        ORDER BY tstamp
+        PATTERN ((S)+)
+        DEFINE SEGMENT S AS last(S.val) >= first(S.val)
+    """,
+    "cross_ref": """
+        ORDER BY tstamp
+        PATTERN (S1 S2)
+        DEFINE SEGMENT S1 AS last(S1.val) > first(S2.val),
+          SEGMENT S2 AS count(S2.val) >= 1
+    """,
+}
+
+TINY_SERIES = {
+    0: [],
+    1: [1.0],
+    2: [1.0, 0.0],
+}
+
+ENGINE_BACKENDS = ("cost", "pr_left", "sm_right")
+BASELINE_LABELS = ("trex-batch", "zstream", "opencep")
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+@pytest.mark.parametrize("n", sorted(TINY_SERIES))
+def test_families_agree_on_tiny_series(family, n):
+    query = compile_query(FAMILY_QUERIES[family])
+    series = make_series(TINY_SERIES[n])
+    expected = sorted(BruteForceMatcher(query).match_series(series))
+    if n == 0:
+        assert expected == []
+    for optimizer in ENGINE_BACKENDS:
+        engine = TRexEngine(optimizer=optimizer)
+        result = engine.execute_query(query, [series])
+        assert sorted(result.per_series[0].matches) == expected, \
+            f"{family} n={n} optimizer={optimizer}"
+    for label in BASELINE_LABELS:
+        executor = make_executor(label, query)
+        assert sorted(executor.match_series(series)) == expected, \
+            f"{family} n={n} baseline={label}"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_families_survive_all_nan_singleton(family):
+    query = compile_query(FAMILY_QUERIES[family])
+    series = make_series([float("nan")])
+    expected = sorted(BruteForceMatcher(query).match_series(series))
+    engine = TRexEngine(optimizer="cost")
+    result = engine.execute_query(query, [series])
+    assert sorted(result.per_series[0].matches) == expected
+
+
+class TestCanonicalEmptySpace:
+    def test_full_zero_is_canonical_empty(self):
+        assert SearchSpace.full(0) is SearchSpace.empty()
+        assert SearchSpace.full(-3) is SearchSpace.empty()
+        assert SearchSpace.full(0).is_empty()
+
+    def test_clamp_zero_is_canonical_empty(self):
+        assert SearchSpace.full(10).clamp(0) is SearchSpace.empty()
+        assert SearchSpace(2, 8, 3, 9).clamp(-1) is SearchSpace.empty()
+
+    def test_clamp_normalizes_any_empty_result(self):
+        # A space entirely past the series end clamps to the canonical
+        # empty value, not to arbitrary leftover bounds.
+        clamped = SearchSpace(5, 9, 5, 9).clamp(3)
+        assert clamped is SearchSpace.empty()
+        assert (clamped.s_lo, clamped.s_hi) == (0, -1)
+
+    def test_empty_space_range_arithmetic_stays_sane(self):
+        empty = SearchSpace.empty()
+        assert empty.start_range_size == 0
+        assert empty.end_range_size == 0
+        assert empty.span_size == 0
+        assert not empty.contains(0, 0)
+        left = empty.concat_left(1)
+        assert left.is_empty()
+
+    def test_nonempty_clamp_unchanged(self):
+        sp = SearchSpace(1, 4, 2, 5).clamp(10)
+        assert (sp.s_lo, sp.s_hi, sp.e_lo, sp.e_hi) == (1, 4, 2, 5)
+
+
+class TestLoaderAndCliTiny:
+    def _write_csv(self, tmp_path, rows):
+        path = tmp_path / "tiny.csv"
+        path.write_text("tstamp,val\n" + "".join(f"{t},{v}\n"
+                                                 for t, v in rows))
+        return str(path)
+
+    def test_load_csv_header_only(self, tmp_path):
+        from repro.datasets.loader import load_csv
+        table = load_csv(self._write_csv(tmp_path, []))
+        series_list = table.partition(None, "tstamp")
+        assert len(series_list) in (0, 1)
+        if series_list:
+            assert len(series_list[0]) == 0
+
+    def test_cli_query_single_row(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write_csv(tmp_path, [(0, 1.0)])
+        code = main(["query", "--csv", path, "--query",
+                     "ORDER BY tstamp PATTERN S "
+                     "DEFINE SEGMENT S AS avg(S.val) > 0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 match" in out or "[0, 0]" in out or "matches" in out
+
+    def test_cli_query_single_row_no_match(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write_csv(tmp_path, [(0, 0.0)])
+        code = main(["query", "--csv", path, "--query",
+                     "ORDER BY tstamp PATTERN S "
+                     "DEFINE SEGMENT S AS avg(S.val) > 0.5"])
+        assert code == 0
