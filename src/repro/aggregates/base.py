@@ -101,6 +101,7 @@ class Aggregate(ABC):
         return f"<aggregate {self.name}>"
 
 
+# trex: no-tick(bounded by the aggregate's column arity)
 def as_float_arrays(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
     """Coerce column slices to float arrays, rejecting non-numeric data."""
     out = []

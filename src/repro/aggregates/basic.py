@@ -58,6 +58,7 @@ class _StdIndex(AggregateIndex):
 
     __slots__ = ("_sums", "_squares", "_finite", "_run_end")
 
+    # trex: no-tick(one linear pass at index-build time)
     def __init__(self, values: np.ndarray):
         finite = np.isfinite(values)
         shift = float(np.mean(values[finite])) if bool(finite.any()) else 0.0

@@ -41,6 +41,7 @@ def _z_from_s(s: float, n: int) -> float:
     return 0.0
 
 
+# trex: no-tick(direct evaluation over one already-sliced segment)
 def mann_kendall_z(values: np.ndarray) -> float:
     """Direct O(len²) Mann-Kendall Z statistic."""
     n = len(values)
@@ -50,6 +51,7 @@ def mann_kendall_z(values: np.ndarray) -> float:
     # indexed path would quietly fold the NaN into Z == 0.0 via _z_from_s.
     s = 0.0
     for j in range(1, n):
+        # trex: nan-ok(NaN must poison S so Z surfaces the bad input)
         s += float(np.sum(np.sign(values[j] - values[:j])))
     return _z_from_s(s, n)
 
@@ -68,6 +70,7 @@ class _MannKendallIndex(AggregateIndex):
         self._values = values
         self._rows: Dict[int, np.ndarray] = {}
 
+    # trex: no-tick(lazy per-start row build; amortized by the memo)
     def _row(self, start: int) -> np.ndarray:
         row = self._rows.get(start)
         if row is None:
@@ -76,12 +79,14 @@ class _MannKendallIndex(AggregateIndex):
             row = np.zeros(m, dtype=np.float64)
             total = 0.0
             for offset in range(1, m):
+                # trex: nan-ok(NaN rows mirror the direct path's poison)
                 total += float(
                     np.sum(np.sign(values[offset] - values[:offset])))
                 row[offset] = total
             self._rows[start] = row
         return row
 
+    # trex: no-tick(forced eager build; paid once per series by design)
     def materialize_all(self) -> None:
         for start in range(len(self._values)):
             self._row(start)

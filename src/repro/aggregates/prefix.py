@@ -58,6 +58,7 @@ class SparseTable:
 
     __slots__ = ("_table", "_log", "_reduce")
 
+    # trex: no-tick(O(n log n) one-time build at index-build time)
     def __init__(self, values: np.ndarray, mode: str = "min"):
         if mode not in ("min", "max"):
             raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")

@@ -5,13 +5,22 @@ Two passes over a shared diagnostics framework:
 * **query lint** (:mod:`repro.analysis.query_lint`) — ``TRX0xx`` errors
   and ``TRX1xx`` warnings over the parsed/bound query;
 * **plan verify** (:mod:`repro.analysis.plan_verify`) — ``TRX2xx``
-  operator-contract checks over physical plans.
+  operator-contract checks over physical plans;
+* **engine lint** (:mod:`repro.analysis.engine_lint`) — ``TRX3xx``
+  budget-contract, ``TRX4xx`` determinism and ``TRX5xx``
+  numeric-safety checks over the engine's own source.
 
-See ``docs/LINTING.md`` for the full diagnostic catalogue.
+See ``docs/LINTING.md`` and ``docs/ENGINE_CONTRACTS.md`` for the full
+diagnostic catalogue.
 """
 
 from repro.analysis.diagnostics import (CATALOG, Diagnostic, Severity, Span,
                                         has_errors, sort_diagnostics)
+from repro.analysis.engine_lint import (EngineLintReport, apply_baseline,
+                                        lint_engine, lint_source,
+                                        load_baseline, render_json,
+                                        render_sarif, render_text,
+                                        write_baseline)
 from repro.analysis.plan_verify import (check_cost_coverage,
                                         discover_exec_operators,
                                         operator_cost_key, reference_flow,
@@ -22,15 +31,23 @@ from repro.analysis.query_lint import analyze, lint_text
 __all__ = [
     "CATALOG",
     "Diagnostic",
+    "EngineLintReport",
     "Severity",
     "Span",
     "analyze",
+    "apply_baseline",
     "check_cost_coverage",
     "discover_exec_operators",
     "has_errors",
+    "lint_engine",
+    "lint_source",
     "lint_text",
+    "load_baseline",
     "operator_cost_key",
     "reference_flow",
+    "render_json",
+    "render_sarif",
+    "render_text",
     "sort_diagnostics",
     "verify_execution_contracts",
     "verify_plan",

@@ -111,6 +111,18 @@ CATALOG = {
     "TRX204": "operator emitted a segment outside its search space",
     "TRX205": "operator emitted a segment violating its embedded window",
     "TRX206": "physical operator has no cost-model entry",
+    "TRX300": "malformed or reasonless `# trex:` suppression pragma",
+    "TRX301": "engine hot loop has no ctx.tick() on any path",
+    "TRX302": "segment materialization without a matching ctx.charge()",
+    "TRX303": "reachable helper has loops the analyzer cannot prove "
+              "ticked",
+    "TRX401": "set iteration: element order is nondeterministic",
+    "TRX402": "dict iteration feeds result ordering",
+    "TRX403": "object-identity (id()) used as an ordering key",
+    "TRX404": "clock/random/environment read outside the engine "
+              "boundary",
+    "TRX501": "bare float ==/!= outside registered bitwise-exact sites",
+    "TRX502": "float accumulation loop without a NaN guard",
 }
 
 

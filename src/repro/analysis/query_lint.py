@@ -50,7 +50,7 @@ _SpanMap = Mapping[str, Span]
 class _TokenIndex:
     """Locate diagnostic spans in the original token stream."""
 
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
 
     def ident(self, name: str) -> Optional[Span]:

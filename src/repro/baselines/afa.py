@@ -37,6 +37,7 @@ from repro.timeseries.series import Series
 Env = Dict[str, Tuple[int, int]]
 
 
+# trex: no-tick(plan-time ranking, bounded by pattern size)
 def _condition_cost_rank(node: LogicalNode, query: Query) -> Tuple[int, int]:
     """Cheapness rank for the hand-tuned ordering inside And states."""
     rank = 0
@@ -80,6 +81,7 @@ class AFAExecutor:
         ctx = ExecContext(series, self.query.registry, deadline=deadline)
         if self.sharing:
             calls = []
+            # trex: no-tick(bounded by the query's variable count)
             for var in self.query.variables.values():
                 calls.extend(var.aggregate_calls())
             ctx.prebuild_indexes(calls)
@@ -243,6 +245,7 @@ class AFAExecutor:
                 candidates = next_candidates
             if satisfied:
                 for cand_env, _ in candidates:
+                    self._ctx.tick()
                     yield end, cand_env
 
     def _enumerate_kleene(self, node: LKleene, start: int,

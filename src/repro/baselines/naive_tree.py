@@ -129,6 +129,7 @@ class NaiveTreeExecutor:
         ctx = ExecContext(series, self.query.registry, deadline=deadline)
         if self.sharing:
             calls = []
+            # trex: no-tick(bounded by the query's variable count)
             for var in self.query.variables.values():
                 calls.extend(var.aggregate_calls())
             ctx.prebuild_indexes(calls)

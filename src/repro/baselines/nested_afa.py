@@ -21,6 +21,7 @@ from repro.plan.logical import (LKleene, LNot, LogicalNode,
 from repro.timeseries.series import Series
 
 
+# trex: no-tick(one-time plan rewrite, bounded by pattern size)
 def _replaceable_nots(plan: LogicalNode) -> List[LNot]:
     """Not nodes outside any Kleene body (the nesting [43] can split off)."""
     inside_kleene: Set[int] = set()

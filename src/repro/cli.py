@@ -180,7 +180,40 @@ def _lint_one(label, text, params, out):
     return errors, len(diags) - errors
 
 
+def cmd_engine_lint(args) -> int:
+    """``repro lint --engine``: run the engine contract analyzer."""
+    from repro.analysis.engine_lint import (apply_baseline, lint_engine,
+                                            load_baseline, render_json,
+                                            render_sarif, render_text,
+                                            write_baseline)
+    from repro.errors import EngineLintError
+
+    report = lint_engine()
+    if args.write_baseline:
+        write_baseline(report, args.write_baseline)
+        print(f"wrote {args.write_baseline} "
+              f"({len(report.findings)} entr"
+              f"{'y' if len(report.findings) == 1 else 'ies'})")
+        return 0
+    if args.baseline:
+        report = apply_baseline(report, load_baseline(args.baseline))
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
+    else:
+        print(render_text(report))
+    print(report.summary(), file=sys.stderr)
+    if report.errors or (args.strict and report.warnings):
+        raise EngineLintError(report.summary(), report=report)
+    return 0
+
+
 def cmd_lint(args) -> int:
+    if args.engine:
+        return cmd_engine_lint(args)
+    if args.format == "sarif":
+        raise SystemExit("--format sarif requires --engine")
     params = _parse_params(args.param)
     findings = []
     errors = warnings = checked = 0
@@ -379,7 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --analyze, print the metrics as JSON")
     e.set_defaults(fn=cmd_explain)
 
-    li = sub.add_parser("lint", help="static analysis of query files")
+    li = sub.add_parser("lint", help="static analysis of query files "
+                                     "or (--engine) the engine source")
     li.add_argument("paths", nargs="*", metavar="FILE",
                     help="query files to lint")
     li.add_argument("--template", help="lint a built-in template")
@@ -387,9 +421,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="lint every built-in template instance")
     li.add_argument("--param", action="append", metavar="NAME=VALUE",
                     help="query parameter (repeatable)")
-    li.add_argument("--format", default="text", choices=["text", "json"])
+    li.add_argument("--engine", action="store_true",
+                    help="run the TRX3xx-5xx engine contract analyzer "
+                         "over src/repro (docs/ENGINE_CONTRACTS.md)")
+    li.add_argument("--format", default="text",
+                    choices=["text", "json", "sarif"],
+                    help="output format (sarif requires --engine)")
     li.add_argument("--strict", action="store_true",
                     help="exit non-zero on warnings too")
+    li.add_argument("--baseline", metavar="PATH",
+                    help="with --engine: suppress findings listed in "
+                         "this baseline file")
+    li.add_argument("--write-baseline", metavar="PATH",
+                    help="with --engine: write current findings as the "
+                         "new baseline and exit 0")
     li.set_defaults(fn=cmd_lint)
 
     d = sub.add_parser("datasets", help="list synthetic datasets")

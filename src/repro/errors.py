@@ -92,6 +92,20 @@ class WorkerCrashed(ExecutionError):
     """
 
 
+class EngineLintError(TRexError):
+    """The engine contract analyzer found violations.
+
+    Raised by ``repro lint --engine`` when TRX3xx/4xx/5xx findings
+    survive the baseline (or warnings under ``--strict``).  Carries the
+    offending :class:`~repro.analysis.engine_lint.EngineLintReport` in
+    :attr:`report` when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 class DataError(TRexError):
     """Input data is malformed (unsorted timestamps, ragged columns, ...)."""
 
@@ -102,7 +116,7 @@ class AggregateError(TRexError):
 
 #: CLI exit code per error family (first match wins along the MRO, so
 #: subclasses like :class:`QueryTimeout` take precedence over their bases).
-#: Codes 3..9 avoid 1 (generic failure) and 2 (argparse usage errors).
+#: Codes 3..10 avoid 1 (generic failure) and 2 (argparse usage errors).
 _EXIT_CODES = (
     (QuerySyntaxError, 3),
     (BindError, 4),          # includes QueryLintError
@@ -112,6 +126,7 @@ _EXIT_CODES = (
     (DataError, 6),
     (AggregateError, 9),
     (ExecutionError, 7),
+    (EngineLintError, 10),
     (TRexError, 1),
 )
 
@@ -144,6 +159,8 @@ def error_kind(error: BaseException) -> str:
         return "bind"
     if isinstance(error, PlanError):
         return "plan"
+    if isinstance(error, EngineLintError):
+        return "engine-lint"
     if isinstance(error, TRexError):
         return "execution"
     return "internal"

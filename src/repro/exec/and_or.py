@@ -34,6 +34,9 @@ class _BinaryAnd(PhysicalOperator):
 
     def _join(self, ctx: ExecContext, sp: SearchSpace, left: Segment,
               right: Segment) -> Iterator[Segment]:
+        # Called once per candidate pair: the probe variants' inner
+        # loops make no other tick progress between candidates.
+        ctx.tick()
         # Bounds already equal by construction; re-check space and window.
         if not sp.contains(left.start, left.end):
             return

@@ -169,6 +169,7 @@ class ExecContext:
 
     def prebuild_indexes(self, calls: Sequence[E.AggCall]) -> None:
         """Eagerly build indexes for the given calls (baseline sharing)."""
+        # trex: no-tick(bounded by the query's distinct aggregate calls)
         for call in calls:
             agg = self.registry.get(call.name)
             if not agg.supports_index or getattr(agg, "needs_series_context",
@@ -275,6 +276,7 @@ class PhysicalOperator(ABC):
         """Project the payload to what consumers above still need."""
         return segment.project_payload(self.publish)
 
+    # trex: no-tick(EXPLAIN rendering is bounded by plan size)
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         window = "" if self.window.is_wild else f" [{self.window.describe()}]"
@@ -304,6 +306,7 @@ class PhysicalOperator(ABC):
         return f"<{self.describe()}>"
 
 
+# trex: no-tick(drains generators whose own hot loops already tick)
 def dedupe(segments: Iterator[Segment]) -> Iterator[Segment]:
     """Drop duplicate (bounds, payload) emissions."""
     seen = set()

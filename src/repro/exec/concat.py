@@ -43,6 +43,9 @@ class _BinaryConcat(PhysicalOperator):
 
     def _join(self, ctx: ExecContext, sp: SearchSpace, left: Segment,
               right: Segment) -> Iterator[Segment]:
+        # Called once per candidate pair: the probe variants' inner
+        # loops make no other tick progress between candidates.
+        ctx.tick()
         start, end = left.start, right.end
         if not sp.contains(start, end):
             return
@@ -211,6 +214,8 @@ class WildWindowConcat(PhysicalOperator):
             lefts = []
             for left in self.left.eval(ctx, left_sp, refs):
                 ctx.tick()
+                if ctx.segment_budget is not None:
+                    ctx.charge()
                 lefts.append(left)
             if not lefts:
                 return
@@ -218,6 +223,8 @@ class WildWindowConcat(PhysicalOperator):
             rights = []
             for right in self.right.eval(ctx, right_sp, refs):
                 ctx.tick()
+                if ctx.segment_budget is not None:
+                    ctx.charge()
                 rights.append(right)
             if not rights:
                 return

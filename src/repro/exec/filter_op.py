@@ -59,6 +59,7 @@ class FilterOp(PhysicalOperator):
 
     def _passes(self, ctx: ExecContext, segment: Segment, env: Env,
                 provider: E.AggregateProvider) -> bool:
+        # trex: no-tick(bounded by the query's lifted condition count)
         for owner, condition in self.conditions:
             owner_segment = env.get(owner, segment.bounds)
             ectx = E.EvalContext(ctx.series, owner_segment[0],

@@ -98,6 +98,7 @@ class MaterializeKleene(PhysicalOperator):
                 yield self.emit(Segment(start, start))
             queue = deque()
             for end in by_start.get(start, ()):
+                ctx.tick()
                 if end <= e_hi:
                     state = (end, 1)
                     if state not in visited:
@@ -117,6 +118,7 @@ class MaterializeKleene(PhysicalOperator):
                     continue
                 next_start = end + self.gap
                 for next_end in by_start.get(next_start, ()):
+                    ctx.tick()
                     if next_end > e_hi:
                         continue
                     state = (next_end, reps + 1)

@@ -135,6 +135,7 @@ class RunMetrics:
     def count(self, op: PhysicalOperator, name: str, n: int = 1) -> None:
         self.for_op(op).counters[name] += n
 
+    # trex: no-tick(post-run folding, bounded by operator count)
     def merge(self, other: "RunMetrics") -> None:
         """Fold another run's records into this one (cross-series)."""
         for op_id, theirs in other.ops.items():
@@ -144,6 +145,7 @@ class RunMetrics:
                 self.ops[op_id] = mine
             mine.merge(theirs)
 
+    # trex: no-tick(post-run derivation, bounded by plan size)
     def finalize(self, plan: PhysicalOperator) -> None:
         """Derive ``self_seconds`` and ``segments_in`` from the tree."""
         def walk(op: PhysicalOperator) -> None:
@@ -162,6 +164,7 @@ class RunMetrics:
                 record.segments_in = child_out
         walk(plan)
 
+    # trex: no-tick(EXPLAIN rendering, bounded by plan size)
     def annotate(self, plan: PhysicalOperator) -> str:
         """The plan's explain tree with one metric line per operator."""
         lines: List[str] = []
@@ -216,6 +219,7 @@ def instrument_plan(plan: PhysicalOperator) -> PhysicalOperator:
     it; consumer-side gaps between ``next()`` calls are not.
     """
     clone = copy.copy(plan)
+    # trex: no-tick(iterates the three fixed child attribute names)
     for attr in _CHILD_ATTRS:
         child = getattr(clone, attr, None)
         if isinstance(child, PhysicalOperator):
@@ -236,6 +240,7 @@ def instrument_plan(plan: PhysicalOperator) -> PhysicalOperator:
         # their materialization work in the call itself.
         iterator = inner_eval(clone, ctx, sp, refs)
         record.time_seconds += time.perf_counter() - t0
+        # trex: no-tick(drains the wrapped operator's ticking iterator)
         while True:
             t0 = time.perf_counter()
             try:

@@ -106,6 +106,9 @@ class _ConditionLeaf(PhysicalOperator):
         series = ctx.series
         accepts = self.window.accepts
         for i in range(max(sp.s_lo, sp.e_lo), min(sp.s_hi, sp.e_hi) + 1):
+            # Tick per candidate, not per acceptance: a window rejecting
+            # every diagonal point would otherwise spin untimed.
+            ctx.tick()
             if accepts(series, i, i):
                 yield i, i
 
