@@ -91,3 +91,39 @@ def test_fig9b_small_space_favors_probe(benchmark, series, space):
     print(f"\nFig9b space={space}: probe evals="
           f"{probe_stats['condition_evals']}, "
           f"sm evals={merge_stats['condition_evals']}")
+
+
+def vectorizable_leaf(name, cond_text, max_len=20):
+    condition = parse_condition(cond_text)
+    var = VarDef(name, True, (WindowSpec.point(1, max_len),), condition,
+                 frozenset())
+    return SegGenIndexing(var, var.window_conjunction)
+
+
+def test_fig9_probe_concat_vector_parity(benchmark, series):
+    """Probe-heavy concat: tiny per-probe search spaces hit the vector
+    kernels' suspension-exact counter path; results and stats must be
+    identical with the kernels on and off."""
+    window = WindowConjunction([WindowSpec.point(2, 40)])
+
+    def build_probe():
+        return RightProbeConcat(
+            vectorizable_leaf("DN", "avg(DN.price) <= 1.0"),
+            vectorizable_leaf("UP", "avg(UP.price) >= 1.0"), 0, window)
+
+    def run_toggled(vectorize):
+        ctx = ExecContext(series, vectorize=vectorize)
+        op = build_probe()
+        result = sorted({s.bounds
+                         for s in op.eval(ctx,
+                                          SearchSpace.full(len(series)),
+                                          {})})
+        return result, ctx.stats
+
+    scalar_result, scalar_stats = run_toggled(False)
+    vector_result, vector_stats = once(benchmark,
+                                       lambda: run_toggled(True))
+    assert vector_result == scalar_result
+    assert vector_stats == scalar_stats
+    print(f"\nFig9 vector parity: {len(vector_result)} matches, "
+          f"{scalar_stats['condition_evals']} condition evals")

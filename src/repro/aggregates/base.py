@@ -34,6 +34,20 @@ class AggregateIndex(ABC):
     def lookup(self, start: int, end: int) -> float:
         """Aggregate value over the inclusive segment ``[start, end]``."""
 
+    # trex: no-tick(scalar loop over one already-ticked candidate batch)
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`lookup` values over parallel bound arrays.
+
+        The default scalar loop is correct for any index; indexes served
+        by the vector kernels (``repro.exec.vector``) override it with
+        array implementations that reproduce ``lookup`` bit-for-bit.
+        """
+        out = np.empty(len(starts), dtype=np.float64)
+        for i in range(len(starts)):
+            out[i] = self.lookup(int(starts[i]), int(ends[i]))
+        return out
+
     def materialize_all(self) -> None:
         """Eagerly build the complete index.
 

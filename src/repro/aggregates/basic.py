@@ -25,6 +25,10 @@ class _SumIndex(AggregateIndex):
     def lookup(self, start: int, end: int) -> float:
         return self._sums.range_sum(start, end)
 
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        return self._sums.range_sum_batch(starts, ends)
+
 
 class _AvgIndex(AggregateIndex):
     __slots__ = ("_sums",)
@@ -35,12 +39,20 @@ class _AvgIndex(AggregateIndex):
     def lookup(self, start: int, end: int) -> float:
         return self._sums.range_mean(start, end)
 
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        return self._sums.range_mean_batch(starts, ends)
+
 
 class _CountIndex(AggregateIndex):
     __slots__ = ()
 
     def lookup(self, start: int, end: int) -> float:
         return float(end - start + 1)
+
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        return (ends - starts + 1).astype(np.float64)
 
 
 class _StdIndex(AggregateIndex):
@@ -82,6 +94,31 @@ class _StdIndex(AggregateIndex):
         variance = max(mean_sq - mean * mean, 0.0)
         return math.sqrt(variance)
 
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        """Bit-identical batch :meth:`lookup`.
+
+        ``np.maximum(x, 0.0)`` matches the scalar ``max(x, 0.0)`` here:
+        the operand is never ``-0.0`` (an exactly-cancelling ``x - x``
+        rounds to ``+0.0``), negatives clamp to ``+0.0`` on both paths
+        and NaN propagates through both; ``np.sqrt`` and ``math.sqrt``
+        are both correctly rounded.
+        """
+        out = np.empty(len(starts), dtype=np.float64)
+        plateau = self._run_end[starts] >= ends
+        if bool(plateau.any()):
+            out[plateau] = np.where(self._finite[starts[plateau]],
+                                    0.0, np.nan)
+        rest = np.logical_not(plateau)
+        if bool(rest.any()):
+            s, e = starts[rest], ends[rest]
+            n = e - s + 1
+            mean = self._sums.range_sum_batch(s, e) / n
+            mean_sq = self._squares.range_sum_batch(s, e) / n
+            variance = np.maximum(mean_sq - mean * mean, 0.0)
+            out[rest] = np.sqrt(variance)
+        return out
+
 
 class _ExtremeIndex(AggregateIndex):
     __slots__ = ("_table",)
@@ -91,6 +128,10 @@ class _ExtremeIndex(AggregateIndex):
 
     def lookup(self, start: int, end: int) -> float:
         return self._table.query(start, end)
+
+    def lookup_batch(self, starts: np.ndarray,
+                     ends: np.ndarray) -> np.ndarray:
+        return self._table.query_batch(starts, ends)
 
 
 class _OneColumnAggregate(Aggregate):

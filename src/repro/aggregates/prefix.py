@@ -52,6 +52,28 @@ class PrefixSums:
     def range_mean(self, start: int, end: int) -> float:
         return self.range_sum(start, end) / (end - start + 1)
 
+    # trex: no-tick(dirty fallback over one already-ticked batch)
+    def range_sum_batch(self, starts: np.ndarray,
+                        ends: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`range_sum` values, bit-identical per element.
+
+        Clean ranges are one prefix-difference array op; ranges that
+        contain a non-finite value re-run the exact scalar fallback
+        (``np.sum`` over the same slice, hence the same pairwise
+        accumulation order) per dirty element.
+        """
+        out = self._sums[ends + 1] - self._sums[starts]
+        if self._dirty is not None:
+            dirty = (self._dirty[ends + 1] - self._dirty[starts]) != 0
+            for i in np.flatnonzero(dirty):
+                out[i] = np.sum(self._values[starts[i]:ends[i] + 1])
+        return out
+
+    def range_mean_batch(self, starts: np.ndarray,
+                         ends: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`range_mean` values, bit-identical per element."""
+        return self.range_sum_batch(starts, ends) / (ends - starts + 1)
+
 
 class SparseTable:
     """O(1) range minimum/maximum queries after O(n log n) preprocessing."""
@@ -86,6 +108,20 @@ class SparseTable:
         span = 1 << level
         row = self._table[level]
         return float(self._reduce(row[start], row[end - span + 1]))
+
+    # trex: no-tick(at most log2(n) distinct levels per batch)
+    def query_batch(self, starts: np.ndarray,
+                    ends: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`query` values, bit-identical per element."""
+        levels = self._log[ends - starts + 1]
+        out = np.empty(len(starts), dtype=np.float64)
+        for level in np.unique(levels):
+            span = 1 << int(level)
+            row = self._table[int(level)]
+            members = levels == level
+            out[members] = self._reduce(row[starts[members]],
+                                        row[ends[members] - span + 1])
+        return out
 
 
 def pairwise_sign_matrix_row(values: np.ndarray, j: int) -> float:

@@ -29,7 +29,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 PRAGMA_RE = re.compile(r"#\s*trex:\s*([a-z-]+)\(([^)]*)\)")
 
 #: Call attribute/function names that satisfy the tick contract directly.
-TICK_CALL_NAMES = frozenset({"tick"})
+#: ``tick_batch`` is the amortized per-batch form used by the vector
+#: kernels (one deadline check per candidate batch).
+TICK_CALL_NAMES = frozenset({"tick", "tick_batch"})
 
 #: Call names that satisfy the charge contract directly
 #: (``probe_cache_put`` charges internally under a budget).

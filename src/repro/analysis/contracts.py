@@ -42,8 +42,11 @@ CHARGE_SCOPE: Tuple[str, ...] = ("exec",)
 #: Packages where TRX4xx determinism findings are emitted.
 DETERMINISM_SCOPE: Tuple[str, ...] = ("exec", "core", "aggregates")
 
-#: Packages where TRX5xx numeric-safety findings are emitted.
-NUMERIC_SCOPE: Tuple[str, ...] = ("aggregates",)
+#: Packages where TRX5xx numeric-safety findings are emitted.  ``exec``
+#: joined when the vector kernels (exec/vector.py) started doing float
+#: arithmetic of their own; their intentionally-bitwise comparisons are
+#: registered in :data:`EXACT_FLOAT_SITES` below.
+NUMERIC_SCOPE: Tuple[str, ...] = ("aggregates", "exec")
 
 #: Files allowed to read clocks/environment (TRX404): the engine
 #: boundary where deadlines are minted, executors selected and metrics
@@ -56,9 +59,14 @@ CLOCK_BOUNDARY_FILES: FrozenSet[str] = frozenset({
 })
 
 #: Specific (file, qualname) functions allowed to read clocks outside
-#: the boundary files.  ``ExecContext.tick`` *is* the deadline check.
+#: the boundary files.  ``ExecContext.tick`` *is* the deadline check
+#: (``tick_batch`` is its amortized batch form), and the vector-kernel
+#: default toggle is config read at context construction, not inside
+#: operator evaluation.
 CLOCK_BOUNDARY_FUNCTIONS: FrozenSet[Tuple[str, str]] = frozenset({
     ("exec/base.py", "ExecContext.tick"),
+    ("exec/base.py", "ExecContext.tick_batch"),
+    ("exec/vector.py", "default_enabled"),
 })
 
 #: Registered bitwise-exact float comparison sites (TRX501):
@@ -72,6 +80,8 @@ EXACT_FLOAT_SITES: FrozenSet[Tuple[str, str, str]] = frozenset({
      "constant-segment guard mirrors _StdIndex run detection"),
     ("aggregates/ticks.py", "_TickIndex.lookup",
      "up/down counts are integral-valued prefix sums"),
+    ("exec/vector.py", "_vdiv",
+     "mirrors the scalar division's bitwise b == 0 branch predicate"),
 })
 
 #: Pragma rule name -> diagnostic codes it may suppress.

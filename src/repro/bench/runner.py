@@ -432,6 +432,103 @@ def run_bench_parallel(out_dir: str, template_name: str = "v_shape",
                                 payload)
 
 
+def run_bench_vector(out_dir: str, length: int = 20000,
+                     window_hi: int = 60, repeats: int = 3) -> str:
+    """Scalar-vs-vector leaf kernel benchmark; returns the artifact path.
+
+    Three legs, each run with the vector kernels forced off and on:
+
+    * ``fig08_direct`` — a SegGenFilter leaf whose condition batches on
+      the direct path (``max``/``min`` folds);
+    * ``fig08_indexed`` — a SegGenIndexing leaf whose ``avg`` condition
+      batches through prefix-sum index lookups;
+    * ``fig09_concat`` — an engine-level two-leaf concat (probe-heavy,
+      small per-probe search spaces), recorded so probe workloads are
+      shown not to regress — no speedup is expected here.
+
+    Every leg asserts the two paths produce identical matches and stats
+    before timing anything; the artifact records per-run wall times and
+    the best-of-``repeats`` speedup per leg.  CI gates on the fig08
+    legs (docs/VECTORIZATION.md).
+    """
+    import numpy as np
+
+    from repro.exec.base import ExecContext
+    from repro.exec.seggen import SegGenFilter, SegGenIndexing
+    from repro.lang.parser import parse_condition
+    from repro.lang.query import VarDef
+    from repro.lang.windows import WindowSpec
+    from repro.plan.search_space import SearchSpace
+
+    t = np.arange(length, dtype=np.float64)
+    values = np.sin(t * 0.05) * 2.0 + np.cos(t * 0.011)
+    series = Series({"tstamp": t, "val": values},
+                    order_column="tstamp", key=("bench",))
+
+    def leaf(cls, cond_text):
+        condition = parse_condition(cond_text)
+        var = VarDef("DN", True, (WindowSpec.point(2, window_hi),),
+                     condition, frozenset())
+        return cls(var, var.window_conjunction)
+
+    def run_leaf(op, vectorize):
+        ctx = ExecContext(series, vectorize=vectorize)
+        segments = [(s.start, s.end)
+                    for s in op.eval(ctx, SearchSpace.full(length), {})]
+        return segments, ctx.stats
+
+    def timed_leg(scalar_fn, vector_fn):
+        s_out, s_stats = scalar_fn()
+        v_out, v_stats = vector_fn()
+        assert s_out == v_out, "vector path changed the result"
+        assert s_stats == v_stats, "vector path changed the stats"
+        scalar_walls = [timed(scalar_fn)[0] for _ in range(repeats)]
+        vector_walls = [timed(vector_fn)[0] for _ in range(repeats)]
+        return {
+            "outputs": len(s_out),
+            "scalar_wall_seconds": scalar_walls,
+            "vector_wall_seconds": vector_walls,
+            "speedup": min(scalar_walls) / max(min(vector_walls), 1e-9),
+        }
+
+    legs: Dict[str, dict] = {}
+    direct_op = leaf(SegGenFilter, "max(DN.val) - min(DN.val) >= 1.0")
+    legs["fig08_direct"] = timed_leg(
+        lambda: run_leaf(direct_op, False),
+        lambda: run_leaf(direct_op, True))
+
+    indexed_op = leaf(SegGenIndexing, "avg(DN.val) > 0.25")
+    legs["fig08_indexed"] = timed_leg(
+        lambda: run_leaf(indexed_op, False),
+        lambda: run_leaf(indexed_op, True))
+
+    concat_table = Table({"tstamp": t, "val": values})
+    concat_text = ("ORDER BY tstamp\nPATTERN (A B)\n"
+                   "DEFINE SEGMENT A AS avg(A.val) > 0.25 "
+                   "AND window(2, 20),\n"
+                   "  SEGMENT B AS min(B.val) < 0.0 AND window(1, 10)")
+
+    def run_concat(vectorize):
+        result = TRexEngine(optimizer="cost", sharing="auto",
+                            max_matches=20000,
+                            vectorize=vectorize).execute(
+                                concat_table, concat_text)
+        return (tuple(result.per_series[0].matches),
+                result.per_series[0].stats)
+
+    legs["fig09_concat"] = timed_leg(lambda: run_concat(False),
+                                     lambda: run_concat(True))
+
+    payload = {
+        "benchmark": "vector",
+        "length": length,
+        "window_hi": window_hi,
+        "repeats": repeats,
+        "legs": legs,
+    }
+    return write_bench_artifact(out_dir, "vector_kernels", payload)
+
+
 # ---------------------------------------------------------------------------
 # Formatting helpers
 # ---------------------------------------------------------------------------

@@ -275,6 +275,27 @@ def cmd_templates(_args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.vector:
+        import json
+
+        from repro.bench.runner import run_bench_vector
+        path = run_bench_vector(args.out, length=max(args.length, 2000))
+        print(f"wrote {path}")
+        with open(path) as handle:
+            legs = json.load(handle)["legs"]
+        failed = False
+        for name, leg in sorted(legs.items()):
+            speedup = leg["speedup"]
+            gated = name.startswith("fig08")
+            status = ""
+            if gated and args.min_speedup and speedup < args.min_speedup:
+                status = f"  REGRESSION (< {args.min_speedup:.1f}x gate)"
+                failed = True
+            print(f"{name:14s} {speedup:6.1f}x  "
+                  f"scalar={min(leg['scalar_wall_seconds']):.3f}s "
+                  f"vector={min(leg['vector_wall_seconds']):.3f}s"
+                  f"{status}")
+        return 1 if failed else 0
     if args.parallel:
         from repro.bench.runner import run_bench_parallel
         path = run_bench_parallel(
@@ -334,6 +355,7 @@ def cmd_fuzz(args) -> int:
     print(f"seed {args.seed}: {report.cases_checked} cases, "
           f"{report.oracle_checks} oracle checks, "
           f"{report.metamorphic_checks} metamorphic checks, "
+          f"{report.vector_checks} vector checks, "
           f"{report.queries_rejected} rejected, "
           f"{len(report.discrepancies)} discrepancies ({elapsed:.1f}s)")
     print(f"wrote {out_path}")
@@ -466,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel backend for --parallel")
     b.add_argument("--workers", dest="bench_workers", type=int, default=4,
                    help="worker count for --parallel")
+    b.add_argument("--vector", action="store_true",
+                   help="run the scalar-vs-vector leaf kernel benchmark "
+                        "(docs/VECTORIZATION.md) instead of the smoke run")
+    b.add_argument("--min-speedup", type=float, default=5.0,
+                   help="fail (exit 1) when a fig08 leg of --vector "
+                        "falls below this speedup; 0 disables the gate")
     b.set_defaults(fn=cmd_bench)
 
     f = sub.add_parser("fuzz", help="differential fuzzing campaign: random "

@@ -76,7 +76,8 @@ class TRexEngine:
                  planning_timeout_seconds: Optional[float] = None,
                  executor: Optional[str] = None,
                  workers: Optional[int] = None,
-                 plan_cache: Union[bool, PlanCache, None] = None):
+                 plan_cache: Union[bool, PlanCache, None] = None,
+                 vectorize: Optional[bool] = None):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
@@ -99,6 +100,9 @@ class TRexEngine:
                             f"'process', got {executor!r}")
         if workers is not None and workers < 1:
             raise PlanError("workers must be >= 1")
+        if vectorize is not None and not isinstance(vectorize, bool):
+            raise PlanError(f"vectorize must be True, False or None, "
+                            f"got {vectorize!r}")
         self.optimizer = optimizer
         self.sharing = sharing
         #: Wall-clock budget for one execute_query() call, planning
@@ -147,6 +151,14 @@ class TRexEngine:
         elif plan_cache is False:
             plan_cache = None
         self.plan_cache: Optional[PlanCache] = plan_cache
+        #: Vectorized leaf kernels (:mod:`repro.exec.vector`): ``True``
+        #: forces the numpy batch path for supported leaf conditions,
+        #: ``False`` forces the scalar loops, ``None`` defers to the
+        #: ``TREX_VECTOR`` environment variable at context construction
+        #: (docs/VECTORIZATION.md).  Results are byte-identical either
+        #: way; the toggle exists for benchmarking and differential
+        #: testing.
+        self.vectorize = vectorize
         #: Reason string for the most recent build_plan() fallback, or
         #: None when the requested planner was used.
         self.last_planner_fallback: Optional[str] = None
@@ -429,7 +441,8 @@ class TRexEngine:
             par.SeriesTask(index=index, series=series,
                            limit=self.max_matches,
                            segment_budget=self.max_segments,
-                           deadline=deadline, analyze=self.analyze)
+                           deadline=deadline, analyze=self.analyze,
+                           vectorize=self.vectorize)
             for index, series in enumerate(series_list) if len(series)
         ]
         outcomes = par.dispatch(
@@ -569,7 +582,8 @@ class TRexEngine:
         """Evaluate ``plan`` over one series; exceptions propagate."""
         ctx = ExecContext(series, query.registry, deadline=deadline,
                           metrics=RunMetrics() if collect_metrics else None,
-                          segment_budget=segment_budget)
+                          segment_budget=segment_budget,
+                          vectorize=self.vectorize)
         sink = _MatchSink(limit)
         sink.consume(plan.eval(ctx, SearchSpace.full(len(series)), {}), ctx)
         return sink.finish(), ctx
@@ -596,7 +610,8 @@ class TRexEngine:
                 _faults.fire("data.series")
             ctx = ExecContext(series, query.registry, deadline=deadline,
                               metrics=RunMetrics() if self.analyze else None,
-                              segment_budget=segment_budget)
+                              segment_budget=segment_budget,
+                              vectorize=self.vectorize)
             sink.consume(plan.eval(ctx, SearchSpace.full(len(series)), {}),
                          ctx)
         except Exception as exc:  # noqa: BLE001 — policy-gated isolation

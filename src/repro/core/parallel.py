@@ -138,6 +138,9 @@ class SeriesTask:
     segment_budget: Optional[int]
     deadline: Optional[float]
     analyze: bool
+    #: Engine-level vector-kernel toggle, forwarded to the worker's
+    #: ExecContext so serial and parallel runs take the same leaf path.
+    vectorize: Optional[bool] = None
 
 
 def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
@@ -163,7 +166,7 @@ def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
                           deadline=task.deadline,
                           metrics=RunMetrics() if task.analyze else None,
                           segment_budget=task.segment_budget,
-                          ledger=ledger)
+                          ledger=ledger, vectorize=task.vectorize)
         sink.consume(plan.eval(ctx, SearchSpace.full(len(task.series)), {}),
                      ctx)
     except Exception as exc:  # noqa: BLE001 — settled by the merge step

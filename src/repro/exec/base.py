@@ -23,6 +23,7 @@ from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional,
 from repro.aggregates.base import Aggregate, AggregateIndex
 from repro.aggregates.registry import DEFAULT_REGISTRY, AggregateRegistry
 from repro.errors import ExecutionError, QueryTimeout, ResourceBudgetExceeded
+from repro.exec.vector import default_enabled as _vector_default_enabled
 from repro.testing import faults as _faults
 from repro.lang import expr as E
 from repro.lang.windows import WindowConjunction
@@ -93,7 +94,8 @@ class ExecContext:
                  deadline: Optional[float] = None,
                  metrics: Optional["RunMetrics"] = None,
                  segment_budget: Optional[int] = None,
-                 ledger: Optional["SegmentLedgerLike"] = None):
+                 ledger: Optional["SegmentLedgerLike"] = None,
+                 vectorize: Optional[bool] = None):
         self.series = series
         self.registry = registry
         self.stats: Counter = Counter()
@@ -118,6 +120,16 @@ class ExecContext:
         #: Serial execution never sets one, so its accounting is
         #: untouched by the parallel engine.
         self.ledger = ledger
+        #: Whether eligible leaves may take the vectorized kernel path
+        #: (repro.exec.vector).  ``None`` defers to the process default
+        #: (the ``TREX_VECTOR`` environment toggle).
+        if vectorize is None:
+            vectorize = _vector_default_enabled()
+        self.vectorize = vectorize
+        #: Per-plan-op bind cache for the vector path: op_id -> resolved
+        #: interval constants, or ``None`` for "fell back to scalar on
+        #: this series" (False marks "not probed yet").
+        self.vector_binds: Dict[int, object] = {}
 
     def count(self, op: "PhysicalOperator", name: str, n: int = 1) -> None:
         """Attribute a named event to ``op`` (no-op unless analyzing)."""
@@ -135,6 +147,21 @@ class ExecContext:
         self._ticks += 1
         if self._ticks % self.TICK_STRIDE == 0 and \
                 time.perf_counter() > self.deadline:
+            raise QueryTimeout(
+                f"query exceeded its deadline after {self._ticks} steps")
+
+    def tick_batch(self, n: int) -> None:
+        """Amortized :meth:`tick` for ``n`` candidates at once.
+
+        The vector kernels charge one batch of at most
+        ``repro.exec.vector.BATCH_SIZE`` candidates per call, with a
+        single deadline check — the batched counterpart of the scalar
+        loop's per-candidate ticks (docs/VECTORIZATION.md).
+        """
+        if self.deadline is None or n <= 0:
+            return
+        self._ticks += n
+        if time.perf_counter() > self.deadline:
             raise QueryTimeout(
                 f"query exceeded its deadline after {self._ticks} steps")
 

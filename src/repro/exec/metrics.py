@@ -155,6 +155,7 @@ class RunMetrics:
                 walk(child)
                 child_metrics = self.ops.get(child.op_id)
                 if child_metrics is not None:
+                    # trex: nan-ok(perf_counter deltas are always finite)
                     child_time += child_metrics.time_seconds
                     child_out += child_metrics.segments_out
             record = self.ops.get(op.op_id)

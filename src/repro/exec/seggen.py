@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterator, Tuple
 
+from repro.exec import vector
 from repro.exec.base import Env, ExecContext, PhysicalOperator
 from repro.lang import expr as E
 from repro.lang.query import VarDef
@@ -37,10 +38,14 @@ class SegGenWindow(PhysicalOperator):
         if sp.is_empty():
             return
         payload_name = self.var_name if self.var_name in self.publish else None
+        metrics = ctx.metrics
+        record = metrics.for_op(self) if metrics is not None else None
         for start, end in self.window.iterate_box(ctx.series, sp.s_lo, sp.s_hi,
                                               sp.e_lo, sp.e_hi):
             ctx.tick()
             ctx.stats["segments_emitted"] += 1
+            if record is not None:
+                record.counters["segments_emitted"] += 1
             if payload_name is not None:
                 yield Segment(start, end, {payload_name: (start, end)})
             else:
@@ -53,6 +58,10 @@ class SegGenWindow(PhysicalOperator):
 
 class _ConditionLeaf(PhysicalOperator):
     """Shared plumbing for condition-evaluating leaves."""
+
+    #: Which aggregate-provider semantics the vector kernels must mirror
+    #: ("direct" or "indexed"); see :func:`repro.exec.vector.try_eval`.
+    vector_provider = "direct"
 
     def __init__(self, var: VarDef, window: WindowConjunction,
                  publish: FrozenSet[str] = frozenset()):
@@ -76,6 +85,11 @@ class _ConditionLeaf(PhysicalOperator):
         # Hoisted metric sink: one is-None check per candidate when off.
         metrics = ctx.metrics
         record = metrics.for_op(self) if metrics is not None else None
+        batched = vector.try_eval(self, ctx, sp, refs, record,
+                                  self.vector_provider)
+        if batched is not None:
+            yield from batched
+            return
         if is_point:
             # Point variables only ever match start == end: enumerate the
             # diagonal of the boxed space directly instead of walking the
@@ -95,6 +109,8 @@ class _ConditionLeaf(PhysicalOperator):
                 record.counters["condition_evals"] += 1
             if E.evaluate_condition(var.condition, ectx):
                 ctx.stats["segments_emitted"] += 1
+                if record is not None:
+                    record.counters["segments_emitted"] += 1
                 if publish_self:
                     yield Segment(start, end, {var.name: (start, end)})
                 else:
@@ -120,6 +136,7 @@ class SegGenFilter(_ConditionLeaf):
     """Leaf that evaluates the variable's condition directly per segment."""
 
     name = "SegGenFilter"
+    vector_provider = "direct"
 
     def _provider(self, ctx: ExecContext) -> E.AggregateProvider:
         return ctx.direct_provider
@@ -129,6 +146,7 @@ class SegGenIndexing(_ConditionLeaf):
     """Leaf that answers aggregate conditions from shared indexes."""
 
     name = "SegGenIndexing"
+    vector_provider = "indexed"
 
     def _provider(self, ctx: ExecContext) -> E.AggregateProvider:
         return ctx.indexed_provider

@@ -67,6 +67,16 @@ DEFAULT_EXPR_EVAL_COST = 150.0
 #: Fixed cost charged per probe invocation (Left/Right-Probe, ProbeNot).
 DEFAULT_PROBE_OVERHEAD = 3000.0
 
+#: Per-candidate cost multiplier for leaf conditions the vector kernels
+#: (:mod:`repro.exec.vector`) can compile.  Batched numpy evaluation
+#: amortizes interpreter overhead across candidates, so the *per-row*
+#: leaf cost shrinks while index-build cost is unchanged.  The value is
+#: deliberately conservative (measured batch speedups are far larger on
+#: long ranges, but probe-sized ranges see little benefit); it is
+#: applied whether or not the runtime toggle ends up enabled, keeping
+#: planning deterministic and toggle-independent.
+DEFAULT_VECTOR_LEAF_DISCOUNT = 0.45
+
 
 def shape_value(shape: Optional[str], size: float) -> float:
     """Evaluate a cost shape ('C'/'L'/'Q') at ``size``."""
@@ -90,6 +100,8 @@ class CostParams:
     expr_eval_cost: float = DEFAULT_EXPR_EVAL_COST
     #: Fixed per-probe-call overhead (search-space setup, cache lookup).
     probe_overhead: float = DEFAULT_PROBE_OVERHEAD
+    #: Per-candidate multiplier for vector-compilable leaf conditions.
+    vector_leaf_discount: float = DEFAULT_VECTOR_LEAF_DISCOUNT
 
     def f_op(self, op_name: str, cardinality_sum: float) -> float:
         """Operator cost (Equation 1): ``w * (cardinality sum)``."""

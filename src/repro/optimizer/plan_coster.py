@@ -76,10 +76,17 @@ class PlanCostEstimator:
                 per_indexed += params.f_lookup(agg, avg_len)
             else:
                 per_indexed += params.f_delta(agg, avg_len)
+        # Mirror the DP planner's per-path vector-kernel discount.
+        from repro.aggregates.registry import DEFAULT_REGISTRY
+        from repro.exec.vector import compiles_statically
         if isinstance(op, SegGenIndexing):
+            if compiles_statically(var, "indexed", DEFAULT_REGISTRY):
+                per_indexed *= params.vector_leaf_discount
             cost = params.f_op("SegGenIndexing", c_in + c_out) + build \
                 + c_in * per_indexed
         else:
+            if compiles_statically(var, "direct", DEFAULT_REGISTRY):
+                per_direct *= params.vector_leaf_discount
             cost = params.f_op("SegGenFilter", c_in + c_out) \
                 + c_in * per_direct
         return cost, c_out

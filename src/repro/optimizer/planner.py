@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import PlanError
 from repro.testing import faults as _faults
 from repro.exec.base import PhysicalOperator
+from repro.exec.vector import compiles_statically
 from repro.lang.query import Query, VarDef
 from repro.optimizer import costmodel as CM
 from repro.optimizer.construct import (LEAF_FILTER, LEAF_INDEXING,
@@ -307,10 +308,18 @@ class CostBasedPlanner:
         selectivity = self._stats.selectivity(var.name)
         c_out = max(c_in * selectivity, _MIN_CARD)
         direct, build, indexed, indexable = self._leaf_eval_costs(var, lse)
+        # Per-path vector discount: batch compilation is capability-
+        # gated per provider (e.g. avg() only batches on the indexed
+        # path), so each side earns the discount independently.
+        registry = self._query.registry
+        if compiles_statically(var, "direct", registry):
+            direct *= params.vector_leaf_discount
         filter_cost = params.f_op("SegGenFilter", c_in + c_out) \
             + c_in * direct
         options: List[Tuple[float, str]] = [(filter_cost, LEAF_FILTER)]
         if indexable and self.sharing != "off":
+            if compiles_statically(var, "indexed", registry):
+                indexed *= params.vector_leaf_discount
             index_cost = params.f_op("SegGenIndexing", c_in + c_out) \
                 + build + c_in * indexed
             options.append((index_cost, LEAF_INDEXING))

@@ -292,7 +292,12 @@ class QueryGen:
             if rng.random() < 0.5:  # make it cyclic
                 b.cond = f"{b.name}.val {rng.choice(_CMP_OPS)} {a.name}.val"
         elif a.is_segment and not b.is_segment:
-            a.cond = f"avg({a.name}.val) {op} {b.name}.val"
+            # Exact aggregate only: a raw series value is a knife-edge
+            # threshold, and derived statistics (avg, sum, ...) may
+            # differ in the last ulp between the direct and indexed
+            # paths (see _EXACT_AGGS above) — e.g. a prefix-sum avg of
+            # a single point need not equal that point bit-for-bit.
+            a.cond = f"min({a.name}.val) {op} {b.name}.val"
         elif not a.is_segment and b.is_segment:
             a.cond = f"{a.name}.val {op} first({b.name}.val)"
         else:
@@ -313,11 +318,20 @@ class QueryGen:
 
 
 class SeriesGen:
-    """Seeded random short series biased toward matcher-breaking shapes."""
+    """Seeded random short series biased toward matcher-breaking shapes.
 
-    def __init__(self, rng: random.Random, max_len: int = 10):
+    ``nan_bias``/``tiny_bias`` harden the scalar/vector boundary fuzzing:
+    NaN poisoning exercises the kernels' comparison and truthiness masks,
+    and n in {0, 1, 2} exercises batch enumeration around empty and
+    single-candidate spaces.
+    """
+
+    def __init__(self, rng: random.Random, max_len: int = 10,
+                 nan_bias: float = 0.0, tiny_bias: float = 0.0):
         self.rng = rng
         self.max_len = max_len
+        self.nan_bias = nan_bias
+        self.tiny_bias = tiny_bias
 
     def _values(self, n: int) -> List[float]:
         rng = self.rng
@@ -340,13 +354,19 @@ class SeriesGen:
         if shape == "nan" or (shape == "walk" and rng.random() < 0.15):
             for _ in range(rng.randint(1, max(1, n // 4))):
                 vals[rng.randrange(n)] = math.nan
+        if self.nan_bias:
+            for i in range(n):
+                if rng.random() < self.nan_bias:
+                    vals[i] = math.nan
         return vals
 
     def generate(self) -> Tuple[List[float], List[float]]:
         """One (timestamps, values) pair; n in {0, 1, 2} with bias."""
         rng = self.rng
         roll = rng.random()
-        if roll < 0.06:
+        if self.tiny_bias and rng.random() < self.tiny_bias:
+            n = rng.randint(0, 2)
+        elif roll < 0.06:
             n = 0
         elif roll < 0.14:
             n = 1
@@ -420,6 +440,10 @@ BACKENDS: Dict[str, Callable[[Query, Series], MatchSet]] = {
                                      executor="serial"),
     "trex:thread": _engine_backend(optimizer="cost", sharing="auto",
                                    executor="thread", workers=2),
+    "trex:novec": _engine_backend(optimizer="cost", sharing="auto",
+                                  executor="serial", vectorize=False),
+    "trex:vec": _engine_backend(optimizer="cost", sharing="auto",
+                                executor="serial", vectorize=True),
     "trex-batch": _baseline_backend("trex-batch", True),
     "afa": _baseline_backend("afa", True),
     "afa:off": _baseline_backend("afa", False),
@@ -430,8 +454,8 @@ BACKENDS: Dict[str, Callable[[Query, Series], MatchSet]] = {
 
 #: Backends checked on every case; the rest rotate in by case index.
 CORE_BACKENDS = ("trex:cost:auto", "trex:cost:on", "trex:cost:off",
-                 "trex:pr_left", "trex:thread", "trex-batch", "afa",
-                 "zstream")
+                 "trex:pr_left", "trex:thread", "trex:novec", "trex:vec",
+                 "trex-batch", "afa", "zstream")
 ROTATING_BACKENDS = ("trex:pr_right", "trex:sm_left", "trex:sm_right",
                      "afa:off", "nested-afa", "opencep")
 
@@ -500,6 +524,101 @@ def oracle_check(query: Query, query_text: str, tstamps: Sequence[float],
             found.append(Discrepancy(
                 "oracle", label, query_text, list(tstamps), list(values),
                 f"missing={missing} extra={extra} (brute={list(expected)})"))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Scalar/vector deep-equality oracle
+# ---------------------------------------------------------------------------
+
+def _metrics_snapshot(metrics: object) -> Optional[List[Dict[str, object]]]:
+    """Per-operator metrics with time and op-id fields stripped.
+
+    Each engine construction compiles its own plan, so raw ``op_id``
+    values differ between the scalar and vector runs; ``to_list`` orders
+    by op_id and plan construction is deterministic, so position ``i``
+    is the same operator in both trees.
+    """
+    if metrics is None:
+        return None
+    out: List[Dict[str, object]] = []
+    for rec in metrics.to_list():  # type: ignore[attr-defined]
+        rec = dict(rec)
+        rec.pop("op_id", None)
+        rec.pop("time_seconds", None)
+        rec.pop("self_seconds", None)
+        out.append(rec)
+    return out
+
+
+def _result_snapshot(result: object) -> Dict[str, object]:
+    entries = []
+    for entry in result.per_series:  # type: ignore[attr-defined]
+        err = None
+        if entry.error is not None:
+            err = (entry.error.error, entry.error.message,
+                   entry.error.kind, entry.error.partial)
+        entries.append({
+            "matches": tuple(entry.matches),
+            "stats": tuple(sorted(entry.stats.items())),
+            "metrics": _metrics_snapshot(entry.metrics),
+            "error": err,
+        })
+    return {"series": entries,
+            "plan": result.plan_explain,  # type: ignore[attr-defined]
+            "interrupted": result.interrupted,  # type: ignore[attr-defined]
+            "degradation": result.degradation}  # type: ignore[attr-defined]
+
+
+def _first_diff(scalar: object, vector: object, path: str = "") -> str:
+    """Human-readable pointer at the first differing component."""
+    if type(scalar) is not type(vector):
+        return f"{path or 'result'}: {scalar!r} != {vector!r}"
+    if isinstance(scalar, dict):
+        for key in scalar:
+            if scalar[key] != vector.get(key):  # type: ignore[union-attr]
+                return _first_diff(scalar[key],
+                                   vector.get(key),  # type: ignore[union-attr]
+                                   f"{path}.{key}" if path else str(key))
+        return f"{path or 'result'}: differing keys"
+    if isinstance(scalar, (list, tuple)):
+        for i, (a, b) in enumerate(zip(scalar, vector)):
+            if a != b:
+                return _first_diff(a, b, f"{path}[{i}]")
+        return (f"{path or 'result'}: length {len(scalar)} != "
+                f"{len(vector)}")  # type: ignore[arg-type]
+    return f"{path or 'result'}: {scalar!r} != {vector!r}"
+
+
+def vector_check(query: Query, query_text: str, tstamps: Sequence[float],
+                 values: Sequence[float]) -> List[Discrepancy]:
+    """Deep-diff scalar vs. vector execution of the same query.
+
+    Stronger than the match-set oracle: the whole observable result —
+    matches, per-series stats counters, EXPLAIN ANALYZE per-operator
+    metrics (sans wall times), structured error records and degradation
+    state — must be identical under both sharing policies, because the
+    vector kernels promise byte-identical ``QueryResult`` contents, not
+    just equal match sets.
+    """
+    series = build_series(tstamps, values)
+    found: List[Discrepancy] = []
+    for sharing in ("on", "off"):
+        snaps: Dict[bool, object] = {}
+        for vectorize in (False, True):
+            try:
+                result = TRexEngine(
+                    optimizer="cost", sharing=sharing, executor="serial",
+                    analyze=True, on_error="partial",
+                    vectorize=vectorize).execute_query(query, [series])
+                snaps[vectorize] = _result_snapshot(result)
+            except Exception as exc:  # crashes are findings too
+                snaps[vectorize] = ("raised", type(exc).__name__, str(exc))
+        if snaps[False] != snaps[True]:
+            found.append(Discrepancy(
+                "vector", f"sharing={sharing}", query_text,
+                list(tstamps), list(values),
+                _first_diff(snaps[False], snaps[True])))
     return found
 
 
@@ -789,8 +908,13 @@ def replay_case(case: Dict[str, object],
     tstamps = decode_values(series["tstamp"])  # type: ignore[index]
     values = decode_values(series["val"])  # type: ignore[index]
     query = compile_query(query_text)
-    return oracle_check(query, query_text, tstamps, values,
-                        backends=backends)
+    found = oracle_check(query, query_text, tstamps, values,
+                         backends=backends)
+    if str(case.get("kind", "")).startswith("vector"):
+        # Vector divergences can hide in stats/metrics while match sets
+        # agree; replay those cases through the deep-equality oracle.
+        found.extend(vector_check(query, query_text, tstamps, values))
+    return found
 
 
 # ---------------------------------------------------------------------------
@@ -807,6 +931,7 @@ class FuzzReport:
     cases_checked: int = 0
     oracle_checks: int = 0
     metamorphic_checks: int = 0
+    vector_checks: int = 0
     discrepancies: List[Discrepancy] = field(default_factory=list)
     minimized: List[Dict[str, object]] = field(default_factory=list)
 
@@ -818,6 +943,7 @@ class FuzzReport:
             "cases_checked": self.cases_checked,
             "oracle_checks": self.oracle_checks,
             "metamorphic_checks": self.metamorphic_checks,
+            "vector_checks": self.vector_checks,
             "discrepancies": [d.to_dict() for d in self.discrepancies],
             "minimized": self.minimized,
         }
@@ -835,6 +961,9 @@ def _minimize_discrepancy(spec: object, disc: Discrepancy,
         try:
             if kind == "oracle":
                 return bool(oracle_check(compile_query(text), text,
+                                         tstamps, values))
+            if kind == "vector":
+                return bool(vector_check(compile_query(text), text,
                                          tstamps, values))
             failures = metamorphic_check(cand, tstamps, values)
             return any(f.kind == kind for f in failures)
@@ -855,6 +984,9 @@ def run_fuzz(queries: int = 100, seed: int = 0, series_per_query: int = 3,
     rng = random.Random(seed)
     qgen = QueryGen(rng, max_nodes=max_nodes)
     sgen = SeriesGen(rng)
+    # Boundary-biased generator for the scalar/vector oracle: heavier
+    # NaN poisoning and more n in {0, 1, 2} degenerate series.
+    vgen = SeriesGen(rng, nan_bias=0.3, tiny_bias=0.35)
     report = FuzzReport(seed=seed)
     produced = 0
     attempts = 0
@@ -872,6 +1004,13 @@ def run_fuzz(queries: int = 100, seed: int = 0, series_per_query: int = 3,
             on_case(produced)
         backends = list(CORE_BACKENDS)
         backends.append(ROTATING_BACKENDS[produced % len(ROTATING_BACKENDS)])
+        def settle(failures: List[Discrepancy]) -> None:
+            for disc in failures:
+                report.discrepancies.append(disc)
+                if minimize:
+                    report.minimized.append(
+                        _minimize_discrepancy(spec, disc, report))
+
         for _ in range(series_per_query):
             tstamps, values = sgen.generate()
             report.cases_checked += 1
@@ -880,9 +1019,12 @@ def run_fuzz(queries: int = 100, seed: int = 0, series_per_query: int = 3,
                                     backends=backends)
             report.metamorphic_checks += 1
             failures.extend(metamorphic_check(spec, tstamps, values))
-            for disc in failures:
-                report.discrepancies.append(disc)
-                if minimize:
-                    report.minimized.append(
-                        _minimize_discrepancy(spec, disc, report))
+            report.vector_checks += 1
+            failures.extend(vector_check(query, text, tstamps, values))
+            settle(failures)
+        # One extra boundary-biased series per query, deep-checked only.
+        tstamps, values = vgen.generate()
+        report.cases_checked += 1
+        report.vector_checks += 1
+        settle(vector_check(query, text, tstamps, values))
     return report

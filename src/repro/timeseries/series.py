@@ -123,6 +123,26 @@ class Series:
             raise DataError(f"unknown column {name!r}; available: "
                             f"{self.column_names}") from None
 
+    def is_numeric(self, name: str) -> bool:
+        """Whether ``name`` exists and is stored as a float64 column."""
+        arr = self._columns.get(name)
+        return arr is not None and arr.dtype == np.float64
+
+    def float_column(self, name: str) -> np.ndarray:
+        """The contiguous float64 buffer for a numeric column.
+
+        The vectorized kernels (``repro.exec.vector``) index these
+        arrays wholesale; construction already stores numeric columns as
+        C-contiguous float64 (:meth:`_to_array`), so this is a dict
+        lookup plus a dtype guard, never a copy.
+        """
+        arr = self.column(name)
+        if arr.dtype != np.float64:
+            numeric = [c for c in self.column_names if self.is_numeric(c)]
+            raise DataError(f"column {name!r} is not numeric; numeric "
+                            f"columns: {numeric}")
+        return arr
+
     def values(self, name: str, start: int, end: int) -> np.ndarray:
         """Values of ``name`` over the inclusive segment ``[start, end]``."""
         return self._columns[name][start:end + 1]

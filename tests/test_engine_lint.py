@@ -117,6 +117,16 @@ class BadIndex:
         return total
 """
 
+VECTOR_BATCH_KNIFE_EDGE = """
+class BadKernel:
+    def _fold(self, values, starts, ends):
+        out = 0.0
+        for k in range(len(starts)):
+            if values[starts[k]] == values[ends[k]]:
+                out += float(values[starts[k]])
+        return out
+"""
+
 FIXTURES = {
     "TRX301": (UNTICKED_LOOP, "exec/bad.py"),
     "TRX302": (NO_CHARGE, "exec/bad.py"),
@@ -136,6 +146,16 @@ def test_bad_fixture_detected(code):
     report = lint(source, relpath)
     assert code in codes(report), (
         f"{code} fixture not detected; got {codes(report)}")
+
+
+def test_vector_batch_loop_numeric_rules_fire_in_exec():
+    """Numeric-safety rules cover exec/ since the vector kernels landed:
+    a batch loop comparing floats bitwise and accumulating unguarded
+    must yield both TRX501 and TRX502."""
+    report = lint(VECTOR_BATCH_KNIFE_EDGE, "exec/bad_vector.py")
+    found = codes(report)
+    assert "TRX501" in found, f"TRX501 not detected; got {found}"
+    assert "TRX502" in found, f"TRX502 not detected; got {found}"
 
 
 def test_id_in_comparison_detected():

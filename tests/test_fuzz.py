@@ -233,7 +233,9 @@ def test_corpus_replay_catches_reintroduced_bug(monkeypatch):
 
 def test_run_fuzz_small_campaign_clean():
     report = run_fuzz(queries=6, seed=123, series_per_query=2)
-    assert report.cases_checked == 12
+    # series_per_query plus the extra NaN/tiny-biased series each query
+    # gets for the scalar/vector boundary (docs/VECTORIZATION.md).
+    assert report.cases_checked == 18
     assert report.discrepancies == []
     assert report.queries_rejected == 0
     payload = report.to_dict()
