@@ -16,7 +16,17 @@ Commands:
 * ``fuzz``    — grammar-level differential fuzzing campaign: seeded random
   queries and series run through every executor against the brute-force
   oracle, with metamorphic relations and delta-debugged reproducers
-  (docs/FUZZING.md); emits a ``FUZZ_summary_seed*.json`` artifact.
+  (docs/FUZZING.md); emits a ``FUZZ_summary_seed*.json`` artifact;
+* ``serve``   — run the resilient multi-tenant query service (admission
+  control, load shedding, retry/backoff, circuit breaker, graceful
+  drain — docs/SERVICE.md);
+* ``loadgen`` — drive a service with a concurrent mixed-template
+  workload (optionally fault-injected) and emit a
+  ``BENCH_service_load.json`` latency/error report.
+
+A run interrupted with Ctrl-C settles what the active ``--on-error``
+policy allows (``partial`` keeps every match found so far), prints the
+usual summary, and exits with code 130 (docs/ROBUSTNESS.md).
 
 Examples::
 
@@ -40,7 +50,7 @@ from typing import Dict
 from repro.core.engine import TRexEngine
 from repro.datasets import DATASET_SHAPES, load
 from repro.datasets.loader import load_csv
-from repro.errors import TRexError, exit_code
+from repro.errors import EXIT_INTERRUPTED, TRexError, exit_code
 from repro.lang.query import compile_query
 from repro.queries import ALL_TEMPLATES, get_template
 
@@ -61,6 +71,10 @@ def _parse_params(items) -> Dict[str, object]:
 def _resolve_query(args, params):
     if args.template:
         template = get_template(args.template)
+        if not params and template.param_sets():
+            # No --param given: bind the template's first grid point,
+            # matching the query service's bare-template behaviour.
+            params = template.param_sets()[0]
         return template.compile(params), template
     if args.query_file:
         with open(args.query_file) as handle:
@@ -93,10 +107,15 @@ def _warn_degradations(result) -> None:
         print(f"warning: {result.planner_fallback}", file=sys.stderr)
 
 
-def _resolve_table(args, template):
+def _resolve_table(args, template, query=None):
     if args.csv:
+        # Thread the compiled query's grouping into the loader so
+        # duplicate/non-monotonic timestamps fail at load time with
+        # file/row context instead of deep inside execution.
         return load_csv(args.csv, time_unit=args.time_unit,
-                        nan_policy=args.nan_policy)
+                        nan_policy=args.nan_policy,
+                        time_column=query.order_by if query else None,
+                        group_by=query.partition_by if query else None)
     dataset = args.dataset or (template.dataset if template else None)
     if dataset is None:
         raise SystemExit("provide --csv or --dataset")
@@ -111,7 +130,7 @@ def _resolve_table(args, template):
 def cmd_query(args) -> int:
     params = _parse_params(args.param)
     query, template = _resolve_query(args, params)
-    table = _resolve_table(args, template)
+    table = _resolve_table(args, template, query)
     engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing,
                         **_engine_options(args))
     t0 = time.perf_counter()
@@ -120,6 +139,11 @@ def cmd_query(args) -> int:
     elapsed = time.perf_counter() - t0
     _warn_degradations(result)
     print(result.summary())
+    # Ctrl-C settled by the engine (on_error != 'raise'): the matches
+    # printed above are the partial subset; exit with the interrupt
+    # code so callers can tell a settled interrupt from a clean run.
+    code = EXIT_INTERRUPTED if result.interrupted and \
+        "KeyboardInterrupt" in (result.degradation or "") else 0
     if args.show_plan:
         print("\nPhysical plan:")
         print(result.plan_explain)
@@ -128,12 +152,12 @@ def cmd_query(args) -> int:
         for start, end in matches:
             if shown >= args.limit:
                 print(f"... ({result.total_matches - shown} more)")
-                return 0
+                return code
             label = "/".join(str(part) for part in key) or "-"
             print(f"{label}\t[{start}, {end}]")
             shown += 1
     del elapsed
-    return 0
+    return code
 
 
 def cmd_explain(args) -> int:
@@ -141,7 +165,7 @@ def cmd_explain(args) -> int:
         raise SystemExit("--json requires --analyze")
     params = _parse_params(args.param)
     query, template = _resolve_query(args, params)
-    table = _resolve_table(args, template)
+    table = _resolve_table(args, template, query)
     series_list = table.partition(query.partition_by, query.order_by)
     if args.analyze:
         engine = TRexEngine(optimizer=args.optimizer, sharing=args.sharing,
@@ -376,6 +400,98 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def _parse_dataset_specs(entries):
+    """``name[:series[:length]]`` entries → ServiceConfig datasets."""
+    specs = []
+    for entry in entries or []:
+        parts = entry.split(":")
+        name = parts[0]
+        series = int(parts[1]) if len(parts) > 1 else 4
+        length = int(parts[2]) if len(parts) > 2 else 120
+        specs.append((name, series, length))
+    return tuple(specs)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import QueryService, ServiceConfig
+
+    config = ServiceConfig(host=args.host, port=args.port,
+                           workers=args.service_workers,
+                           queue_depth=args.queue_depth,
+                           optimizer=args.optimizer,
+                           executor=args.executor or "serial",
+                           engine_workers=args.workers,
+                           default_timeout_seconds=args.timeout or 10.0,
+                           default_on_error=args.on_error)
+    if args.serve_dataset:
+        config.datasets = _parse_dataset_specs(args.serve_dataset)
+
+    async def _run() -> None:
+        service = QueryService(config)
+        host, port = await service.start()
+        print(f"serving on http://{host}:{port} "
+              f"(datasets: {', '.join(sorted(service.tables))}; "
+              f"SIGTERM/Ctrl-C drains gracefully)", flush=True)
+        await service.run()
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import os
+
+    from repro.service import (LoadgenConfig, check_report, run_load,
+                               run_self_hosted)
+
+    config = LoadgenConfig(
+        clients=args.clients, requests_per_client=args.requests,
+        templates=tuple(args.templates.split(",")),
+        tenants=tuple(args.tenants.split(",")),
+        timeout_seconds=args.timeout or 10.0, on_error=args.on_error,
+        seed=args.seed, think_seconds=args.think)
+    if args.url:
+        from urllib.parse import urlparse
+        parsed = urlparse(args.url if "//" in args.url
+                          else f"http://{args.url}")
+        config.host = parsed.hostname or "127.0.0.1"
+        config.port = parsed.port or 8080
+        report = run_load(config)
+    else:
+        report = run_self_hosted(config, faults=args.faults)
+    os.makedirs(args.out, exist_ok=True)
+    out_path = os.path.join(args.out, "BENCH_service_load.json")
+    with open(out_path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+        handle.write("\n")
+    latency = report.latency or {}
+    print(f"{report.requests} requests, {report.ok} ok, "
+          f"shed rate {report.shed_rate:.1%}, "
+          f"{report.retried_requests} retried "
+          f"({report.total_attempts} attempts), "
+          f"{report.throughput_rps:.1f} req/s")
+    if latency:
+        print(f"latency p50={latency['p50_seconds'] * 1e3:.1f}ms "
+              f"p95={latency['p95_seconds'] * 1e3:.1f}ms "
+              f"p99={latency['p99_seconds'] * 1e3:.1f}ms")
+    for family, count in sorted(report.errors_by_family.items()):
+        if family != "ok":
+            print(f"  {family}: {count}")
+    print(f"wrote {out_path}")
+    if args.check:
+        problems = check_report(report,
+                                expect_retries=args.expect_retries,
+                                max_shed_rate=args.max_shed_rate)
+        for problem in problems:
+            print(f"check failed: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("all load checks passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -518,6 +634,72 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--progress", action="store_true",
                    help="print progress to stderr every 25 queries")
     f.set_defaults(fn=cmd_fuzz)
+
+    s = sub.add_parser("serve", help="run the resilient multi-tenant "
+                                     "query service (docs/SERVICE.md)")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks a free one)")
+    s.add_argument("--dataset", dest="serve_dataset", action="append",
+                   metavar="NAME[:SERIES[:LENGTH]]",
+                   help="synthetic dataset to serve (repeatable; default "
+                        "sp500 and weather)")
+    s.add_argument("--service-workers", type=int, default=4, metavar="N",
+                   help="concurrent query executions")
+    s.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="bounded request queue size (full => shed 503)")
+    s.add_argument("--optimizer", default="cost")
+    s.add_argument("--executor", default=None,
+                   choices=["serial", "thread", "process"],
+                   help="engine execution backend per query")
+    s.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="engine worker-pool size (parallel executors)")
+    s.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="default per-request deadline (default 10)")
+    s.add_argument("--on-error", default="partial",
+                   choices=["raise", "skip", "partial"],
+                   help="default error policy for requests")
+    s.set_defaults(fn=cmd_serve)
+
+    lg = sub.add_parser("loadgen", help="drive a query service with a "
+                                        "concurrent (optionally fault-"
+                                        "injected) workload; writes "
+                                        "BENCH_service_load.json")
+    lg.add_argument("--url", default=None,
+                    help="target service (host:port); default self-hosts "
+                         "a fresh service for the run")
+    lg.add_argument("--clients", type=int, default=8,
+                    help="concurrent keep-alive clients")
+    lg.add_argument("--requests", type=int, default=25,
+                    help="requests per client")
+    lg.add_argument("--templates",
+                    default="v_shape,head_shldr,outlier,cld_wave,"
+                            "limit_sell",
+                    help="comma-separated template mix")
+    lg.add_argument("--tenants", default="alpha,beta",
+                    help="comma-separated tenant names (round-robin)")
+    lg.add_argument("--timeout", type=float, default=None,
+                    metavar="SECONDS", help="per-request deadline")
+    lg.add_argument("--on-error", default="partial",
+                    choices=["raise", "skip", "partial"])
+    lg.add_argument("--seed", type=int, default=0,
+                    help="workload seed (template choice + retry jitter)")
+    lg.add_argument("--think", type=float, default=0.0, metavar="SECONDS",
+                    help="per-client pause between requests")
+    lg.add_argument("--faults", default=None, metavar="SPEC",
+                    help="self-hosting only: TREX_FAULTS value for the "
+                         "run, e.g. 'service.worker:worker@3*2'")
+    lg.add_argument("--out", default="bench-artifacts",
+                    help="directory for BENCH_service_load.json")
+    lg.add_argument("--check", action="store_true",
+                    help="gate the run: fail on non-structured errors, "
+                         "unbalanced counters or zero successes")
+    lg.add_argument("--expect-retries", action="store_true",
+                    help="with --check: require at least one retried "
+                         "request (fault-injection runs)")
+    lg.add_argument("--max-shed-rate", type=float, default=1.0,
+                    help="with --check: maximum acceptable shed rate")
+    lg.set_defaults(fn=cmd_loadgen)
     return parser
 
 
@@ -530,6 +712,13 @@ def main(argv=None) -> int:
         message = " ".join(str(error).split())
         print(f"error: {message}", file=sys.stderr)
         return exit_code(error)
+    except KeyboardInterrupt:
+        # A Ctrl-C the engine could not settle (on_error='raise', or
+        # delivered outside execution): exit with the documented
+        # interrupt code instead of a traceback (docs/ROBUSTNESS.md).
+        print("error: interrupted (SIGINT); partial results follow the "
+              "--on-error policy", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

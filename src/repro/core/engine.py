@@ -331,12 +331,27 @@ class TRexEngine:
         # Analyze mode evaluates an instrumented shallow copy; the
         # original plan is untouched, so disabled mode pays nothing.
         exec_plan = instrument_plan(plan) if self.analyze else plan
-        if self.executor == "serial":
-            total_metrics = self._execute_serial(
-                result, plan, exec_plan, query, series_list, deadline)
-        else:
-            total_metrics = self._execute_parallel(
-                result, plan, exec_plan, query, series_list, deadline)
+        try:
+            if self.executor == "serial":
+                total_metrics = self._execute_serial(
+                    result, plan, exec_plan, query, series_list, deadline)
+            else:
+                total_metrics = self._execute_parallel(
+                    result, plan, exec_plan, query, series_list, deadline)
+        except KeyboardInterrupt:
+            # SIGINT mid-query: under 'raise' the interrupt propagates
+            # untouched; under 'skip'/'partial' the engine settles — the
+            # series completed so far keep their matches (the 'partial'
+            # guarantee: a sorted, duplicate-free subset of a full run)
+            # and the result is marked interrupted (docs/ROBUSTNESS.md).
+            if self.on_error == "raise":
+                raise
+            total_metrics = None
+            done = len(result.per_series)
+            for series in series_list[done:]:
+                result.per_series.append(SeriesMatches(series.key, []))
+            result.interrupted = True
+            result.degradation = "interrupted: KeyboardInterrupt (SIGINT)"
         result.execution_wall_seconds = time.perf_counter() - t1
         if total_metrics is not None:
             total_metrics.finalize(plan)

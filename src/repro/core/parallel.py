@@ -36,7 +36,7 @@ import time
 from collections import Counter
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sink import MatchSink
 from repro.errors import ResourceBudgetExceeded, TRexError, WorkerCrashed
@@ -302,6 +302,44 @@ def _discard_process_pool() -> None:
         _process_pool_key = None
 
 
+def warm_pools(executor: str, workers: Optional[int]) -> None:
+    """Pre-create the cached worker pool for ``executor``.
+
+    Long-running callers (the query service) call this once at startup
+    so the first request does not pay pool spin-up latency; subsequent
+    requests reuse the same cached pool (the pools here are
+    module-level and keyed by configuration, so cross-request reuse is
+    automatic).  A no-op for the serial backend.
+    """
+    count = resolve_workers(workers)
+    if executor == "thread":
+        _get_thread_pool(count)
+    elif executor == "process":
+        _get_process_pool(count)
+
+
+#: Observer invoked (with a short description) every time the process
+#: backend converts a dead worker into a :class:`WorkerCrashed` outcome.
+#: The query service registers one to drive its crash-retry accounting
+#: (docs/SERVICE.md); ``None`` disables the hook.
+_crash_listener: Optional[Callable[[str], None]] = None
+
+
+def set_crash_listener(listener: Optional[Callable[[str], None]]) -> None:
+    """Install (or with ``None`` remove) the worker-crash observer."""
+    global _crash_listener
+    _crash_listener = listener
+
+
+def _notify_crash(description: str) -> None:
+    listener = _crash_listener
+    if listener is not None:
+        try:
+            listener(description)
+        except Exception:  # noqa: BLE001 — observers must not break runs
+            _logger.exception("worker-crash listener failed")
+
+
 def reset_pools() -> None:
     """Shut down every cached worker pool (tests, fault re-arming).
 
@@ -383,11 +421,12 @@ def dispatch(backend: str, workers: Optional[int],
             outcomes[task.index] = future.result()
         except Exception as exc:  # noqa: BLE001 — pool infrastructure died
             broken = True
+            crash = WorkerCrashed(
+                f"worker process failed while evaluating series "
+                f"{task.series.key!r}: {type(exc).__name__}: {exc}")
+            _notify_crash(str(crash))
             outcomes[task.index] = SeriesOutcome(
-                index=task.index,
-                error=WorkerCrashed(
-                    f"worker process failed while evaluating series "
-                    f"{task.series.key!r}: {type(exc).__name__}: {exc}"))
+                index=task.index, error=crash)
     if broken:
         _discard_process_pool()
     return outcomes

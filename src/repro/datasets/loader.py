@@ -4,12 +4,27 @@
 :class:`~repro.timeseries.table.Table`: numeric columns become float
 arrays, everything else stays as strings.  Used by the CLI and handy for
 loading the real datasets when a user has them on disk.
+
+Malformed input raises a structured :class:`~repro.errors.DataError`
+carrying the file path and the 1-based row number of the offending data
+(``error.source``/``error.row``), never a bare ``ValueError``:
+
+* ragged rows (fewer *or more* cells than the header);
+* mixed columns — a column where some cells parse as numbers and
+  others do not is almost always a data bug (a stray unit suffix, a
+  shifted row), so it is rejected naming the first non-numeric cell
+  rather than silently demoted to strings;
+* duplicate or decreasing timestamps within one partition, when the
+  caller identifies the time column (``time_column=``, optionally
+  grouped by ``group_by=``) — the CLI threads the query's ``ORDER BY``
+  / ``PARTITION BY`` columns here so bad timestamps surface at load
+  time instead of producing silently ambiguous matches.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,54 +39,127 @@ def _try_float(value: str) -> Optional[float]:
         return None
 
 
+def _parse_columns(path: str, keep: Sequence[str], raw: List[List[str]],
+                   row_numbers: List[int]) -> Dict[str, np.ndarray]:
+    """Type every kept column; mixed numeric/text columns are rejected."""
+    table_columns: Dict[str, np.ndarray] = {}
+    for name, cells in zip(keep, raw):
+        parsed = [_try_float(cell) if cell != "" else None for cell in cells]
+        numeric = [value is not None for value in parsed]
+        non_empty = [cell != "" for cell in cells]
+        if any(numeric):
+            for index, (is_num, has_text) in enumerate(zip(numeric,
+                                                           non_empty)):
+                if has_text and not is_num:
+                    raise DataError(
+                        f"column {name!r} mixes numeric and non-numeric "
+                        f"values; first non-numeric cell is "
+                        f"{cells[index]!r}",
+                        source=path, row=row_numbers[index])
+            table_columns[name] = np.asarray(
+                [float("nan") if value is None else value
+                 for value in parsed], dtype=np.float64)
+        else:
+            table_columns[name] = np.asarray(cells, dtype=object)
+    return table_columns
+
+
+def _check_timestamps(path: str, keep: Sequence[str],
+                      columns: Dict[str, np.ndarray],
+                      row_numbers: List[int], time_column: str,
+                      group_by: Optional[Sequence[str]]) -> None:
+    """Reject duplicate/decreasing timestamps within each partition."""
+    if time_column not in columns:
+        raise DataError(f"time column {time_column!r} not in loaded "
+                        f"columns {sorted(columns)}", source=path)
+    group_by = list(group_by or [])
+    for name in group_by:
+        if name not in columns:
+            raise DataError(f"group column {name!r} not in loaded "
+                            f"columns {sorted(columns)}", source=path)
+    stamps = columns[time_column]
+    if stamps.dtype.kind != "f":
+        raise DataError(f"time column {time_column!r} is not numeric",
+                        source=path)
+    key_arrays = [columns[name] for name in group_by]
+    last_seen: Dict[Tuple, Tuple[float, int]] = {}
+    for index in range(len(stamps)):
+        key = tuple(arr[index] for arr in key_arrays)
+        stamp = float(stamps[index])
+        if stamp != stamp:  # trex: exact-float(NaN never equals itself)
+            raise DataError(
+                f"time column {time_column!r} has a non-finite timestamp",
+                source=path, row=row_numbers[index])
+        previous = last_seen.get(key)
+        if previous is not None:
+            prev_stamp, prev_row = previous
+            label = "/".join(str(part) for part in key) or "-"
+            if stamp == prev_stamp:
+                raise DataError(
+                    f"duplicate timestamp {stamp:g} in partition "
+                    f"{label} (first seen at row {prev_row})",
+                    source=path, row=row_numbers[index])
+            if stamp < prev_stamp:
+                raise DataError(
+                    f"non-monotonic timestamp {stamp:g} in partition "
+                    f"{label} (row {prev_row} has {prev_stamp:g})",
+                    source=path, row=row_numbers[index])
+        last_seen[key] = (stamp, row_numbers[index])
+
+
 def load_csv(path: str, delimiter: str = ",", time_unit: str = "DAY",
              columns: Optional[Sequence[str]] = None,
-             nan_policy: str = "allow") -> Table:
+             nan_policy: str = "allow",
+             time_column: Optional[str] = None,
+             group_by: Optional[Sequence[str]] = None) -> Table:
     """Read a CSV file with a header row into a Table.
 
     ``columns`` optionally restricts which header columns are kept.  A
     column is numeric if every non-empty cell parses as a float; empty
-    cells in numeric columns become NaN.  ``nan_policy`` decides what
-    happens to such non-finite values when the table is partitioned into
+    cells in numeric columns become NaN, while a mix of numeric and
+    non-numeric cells is a :class:`DataError`.  ``nan_policy`` decides
+    what happens to non-finite values when the table is partitioned into
     series: ``'allow'`` keeps them, ``'raise'`` rejects the data with a
     :class:`DataError`, ``'omit'`` masks the offending rows
     (docs/ROBUSTNESS.md).
+
+    When ``time_column`` is given, timestamps are validated at load
+    time: within each partition (the distinct value combinations of
+    ``group_by``, or the whole file without it) they must be strictly
+    increasing — duplicates and decreasing steps raise a
+    :class:`DataError` naming the file and row.
     """
     with open(path, newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         try:
             header = next(reader)
         except StopIteration:
-            raise DataError(f"{path}: empty file") from None
+            raise DataError("empty file", source=path) from None
         header = [name.strip() for name in header]
         keep = list(columns) if columns else header
         missing = set(keep) - set(header)
         if missing:
-            raise DataError(f"{path}: columns {sorted(missing)} not in "
-                            f"header {header}")
+            raise DataError(f"columns {sorted(missing)} not in "
+                            f"header {header}", source=path)
         indices = [header.index(name) for name in keep]
         raw: List[List[str]] = [[] for _ in keep]
+        row_numbers: List[int] = []
         for row_number, row in enumerate(reader, start=2):
             if not row or all(not cell.strip() for cell in row):
                 continue
-            if len(row) < len(header):
-                raise DataError(f"{path}:{row_number}: expected "
-                                f"{len(header)} cells, got {len(row)}")
+            if len(row) != len(header):
+                raise DataError(f"expected {len(header)} cells, got "
+                                f"{len(row)}", source=path, row=row_number)
             for out, index in zip(raw, indices):
                 out.append(row[index].strip())
+            row_numbers.append(row_number)
 
-    table_columns: Dict[str, np.ndarray] = {}
-    for name, cells in zip(keep, raw):
-        parsed = [_try_float(cell) if cell != "" else None for cell in cells]
-        if all(value is not None or cell == ""
-               for value, cell in zip(parsed, cells)):
-            table_columns[name] = np.asarray(
-                [float("nan") if value is None else value
-                 for value in parsed], dtype=np.float64)
-        else:
-            table_columns[name] = np.asarray(cells, dtype=object)
+    table_columns = _parse_columns(path, keep, raw, row_numbers)
     if not table_columns:
-        raise DataError(f"{path}: no columns selected")
+        raise DataError("no columns selected", source=path)
+    if time_column is not None:
+        _check_timestamps(path, keep, table_columns, row_numbers,
+                          time_column, group_by)
     return Table(table_columns, time_unit=time_unit, nan_policy=nan_policy)
 
 

@@ -107,16 +107,75 @@ class EngineLintError(TRexError):
 
 
 class DataError(TRexError):
-    """Input data is malformed (unsorted timestamps, ragged columns, ...)."""
+    """Input data is malformed (unsorted timestamps, ragged columns, ...).
+
+    When the failure is tied to a specific place in an input file, the
+    optional ``source``/``row`` attributes carry the file path and the
+    1-based row number so callers (and the CLI's one-line ``error:``
+    output) can point at the offending data.
+    """
+
+    def __init__(self, message: str, source: str = None, row: int = None):
+        self.source = source
+        self.row = row
+        if source is not None:
+            location = f"{source}:{row}" if row is not None else source
+            message = f"{location}: {message}"
+        super().__init__(message)
 
 
 class AggregateError(TRexError):
     """An aggregate was called with invalid arguments or is unknown."""
 
 
+class ServiceError(TRexError):
+    """Base class for the multi-tenant query service's failures.
+
+    Raised only by :mod:`repro.service` — the engine itself never
+    produces these.  Subclasses map onto HTTP statuses and dedicated
+    CLI exit codes (docs/SERVICE.md).
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """Admission control refused the request (HTTP 429).
+
+    Either the tenant's token bucket ran dry (``reason='rate'``) or its
+    concurrent-query quota is saturated (``reason='concurrency'``).
+    ``retry_after`` is the suggested client backoff in seconds.
+    """
+
+    def __init__(self, message: str, reason: str = "rate",
+                 retry_after: float = 1.0):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceOverloaded(ServiceError):
+    """The service shed the request before execution (HTTP 503).
+
+    Raised when the bounded request queue is full, or when the
+    queue's estimated wait already exceeds the request deadline
+    (deadline-aware load shedding: reject early rather than queue a
+    request past the point where its answer can still arrive in time).
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 retry_after: float = 1.0):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is draining (graceful shutdown) and admits nothing."""
+
+
 #: CLI exit code per error family (first match wins along the MRO, so
 #: subclasses like :class:`QueryTimeout` take precedence over their bases).
-#: Codes 3..10 avoid 1 (generic failure) and 2 (argparse usage errors).
+#: Codes 3..13 avoid 1 (generic failure) and 2 (argparse usage errors);
+#: 130 (= 128 + SIGINT) is the conventional interrupted-by-Ctrl-C code.
 _EXIT_CODES = (
     (QuerySyntaxError, 3),
     (BindError, 4),          # includes QueryLintError
@@ -127,8 +186,16 @@ _EXIT_CODES = (
     (AggregateError, 9),
     (ExecutionError, 7),
     (EngineLintError, 10),
+    (AdmissionRejected, 11),
+    (ServiceOverloaded, 12),
+    (ServiceError, 13),      # includes ServiceUnavailable
     (TRexError, 1),
 )
+
+#: Exit code for a run interrupted by the user (SIGINT / Ctrl-C); the
+#: CLI catches :class:`KeyboardInterrupt`, settles what the error
+#: policy allows, and exits with this (docs/ROBUSTNESS.md).
+EXIT_INTERRUPTED = 130
 
 
 def exit_code(error: BaseException) -> int:
@@ -161,6 +228,12 @@ def error_kind(error: BaseException) -> str:
         return "plan"
     if isinstance(error, EngineLintError):
         return "engine-lint"
+    if isinstance(error, AdmissionRejected):
+        return "admission"
+    if isinstance(error, ServiceOverloaded):
+        return "overload"
+    if isinstance(error, ServiceError):
+        return "service"
     if isinstance(error, TRexError):
         return "execution"
     return "internal"

@@ -28,10 +28,12 @@ site (see docs/OBSERVABILITY.md).
 from __future__ import annotations
 
 import copy
+import math
+import threading
 import time
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.exec.base import Env, ExecContext, PhysicalOperator
 from repro.plan.search_space import SearchSpace
@@ -265,3 +267,84 @@ def merged_metrics(per_series: List[Optional[RunMetrics]]) -> RunMetrics:
         if metrics is not None:
             total.merge(metrics)
     return total
+
+
+# ---------------------------------------------------------------------------
+# Service-side run accounting (used by repro.service; docs/SERVICE.md)
+# ---------------------------------------------------------------------------
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    ``q`` is in [0, 100].  Nearest-rank (rather than interpolation)
+    keeps the reported latency an actually-observed value, which is the
+    convention load-testing tools use for pXX figures.
+    """
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return sorted_values[0]
+    rank = int(math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
+
+
+class LatencyWindow:
+    """Bounded, thread-safe latency sample for percentile reporting.
+
+    Keeps the most recent ``max_samples`` observations (enough for
+    stable p50/p95/p99 on a serving window without unbounded growth).
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """Count, mean and p50/p95/p99 over the retained window."""
+        with self._lock:
+            values = sorted(self._samples)
+            count = self.count
+            total = self.total_seconds
+        return {
+            "count": count,
+            "mean_seconds": (total / count) if count else 0.0,
+            "p50_seconds": percentile(values, 50),
+            "p95_seconds": percentile(values, 95),
+            "p99_seconds": percentile(values, 99),
+        }
+
+
+class ServiceCounters:
+    """Thread-safe named counters for the query service's /stats.
+
+    A tiny wrapper over :class:`collections.Counter` whose increments
+    are safe from both asyncio callbacks and executor threads; the
+    service layer keys it with its admission/shed/retry/breaker events
+    (docs/SERVICE.md lists the stable names).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += value
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

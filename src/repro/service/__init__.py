@@ -1,0 +1,27 @@
+"""Resilient multi-tenant query service over the T-ReX engine.
+
+See docs/SERVICE.md for the architecture: admission control →
+bounded queue with deadline-aware shedding → retried execution with a
+planner circuit breaker → graceful drain, all surfaced over a small
+asyncio HTTP/JSON API (``/query``, ``/healthz``, ``/readyz``,
+``/stats``).
+"""
+
+from repro.service.admission import (AdmissionController, AdmissionTicket,
+                                     TokenBucket)
+from repro.service.app import QueryService, serve
+from repro.service.config import (BreakerConfig, RetryConfig, ServiceConfig,
+                                  TenantConfig)
+from repro.service.harness import BackgroundService, BlockingClient
+from repro.service.loadgen import (LoadgenConfig, LoadReport, check_report,
+                                   run_load, run_self_hosted)
+from repro.service.metrics import ServiceMetrics
+from repro.service.retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "AdmissionController", "AdmissionTicket", "BackgroundService",
+    "BlockingClient", "BreakerConfig", "CircuitBreaker", "LoadReport",
+    "LoadgenConfig", "QueryService", "RetryConfig", "RetryPolicy",
+    "ServiceConfig", "ServiceMetrics", "TenantConfig", "TokenBucket",
+    "check_report", "run_load", "run_self_hosted", "serve",
+]

@@ -1,0 +1,172 @@
+"""Run a :class:`QueryService` on a background thread.
+
+Synchronous callers (tests, ``repro loadgen`` self-hosting, the chaos
+sweep) need a live service without committing their own thread to an
+event loop.  :class:`BackgroundService` spins one up on a dedicated
+thread with its own loop, waits until the listener is bound, and tears
+it down through the same graceful-drain path a SIGTERM would take — so
+every test of the harness is also a test of drain.
+
+Usage::
+
+    with BackgroundService(config) as service:
+        client = service.client()        # blocking JSON client
+        status, body = client.post("/query", {...})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.app import QueryService
+from repro.service.config import ServiceConfig
+from repro.timeseries.table import Table
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (racy but fine for tests)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class BlockingClient:
+    """A tiny synchronous JSON/HTTP client for tests and the CLI.
+
+    One fresh connection per request — deliberately boring so harness
+    failures point at the service, not the client.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) \
+            -> Tuple[int, dict, Dict[str, str]]:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            sock.sendall(head.encode("latin-1") + body)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        header_blob, _, rest = raw.partition(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        data = json.loads(rest) if rest else {}
+        return status, data, headers
+
+    def get(self, path: str) -> Tuple[int, dict]:
+        status, data, _ = self.request("GET", path)
+        return status, data
+
+    def post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        status, data, _ = self.request("POST", path, payload)
+        return status, data
+
+
+class BackgroundService:
+    """A live :class:`QueryService` on its own thread + event loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 tables: Optional[Dict[str, Table]] = None,
+                 startup_timeout: float = 30.0):
+        self.config = config or ServiceConfig()
+        if self.config.port == 0:
+            # Port 0 means "pick one": resolved before bind so the
+            # config snapshot in /stats shows the real port.
+            self.config.port = free_port(self.config.host)
+        self.service = QueryService(self.config)
+        for name, table in (tables or {}).items():
+            self.service.add_table(name, table)
+        self._startup_timeout = startup_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "BackgroundService":
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="trex-service-loop",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(self._startup_timeout):
+            raise ServiceError("service failed to start within "
+                               f"{self._startup_timeout:g}s")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}") \
+                from self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        try:
+            await self.service.start()
+        except BaseException as exc:  # noqa: BLE001 — reported to caller
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        # No signal handlers on a non-main thread; stop() drives drain.
+        await self.service.run(install_signal_handlers=False)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain gracefully and join the service thread."""
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive() and self._startup_error is None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.drain(), self._loop)
+            future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        address = self.service.address
+        assert address is not None, "service not started"
+        return address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def client(self) -> BlockingClient:
+        host, port = self.address
+        return BlockingClient(host, port)

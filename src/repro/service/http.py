@@ -1,0 +1,202 @@
+"""Minimal asyncio HTTP/1.1 plumbing (server parse + client).
+
+The container ships no HTTP framework, so the service speaks a small,
+strict subset of HTTP/1.1 over plain asyncio streams: JSON bodies,
+``Content-Length`` framing (no chunked encoding), optional keep-alive.
+That subset is exactly what the bundled load generator and tests speak;
+it is also curl-compatible for manual poking::
+
+    curl -s localhost:8080/healthz
+    curl -s -XPOST localhost:8080/query -d '{"template": "v_shape", ...}'
+
+Kept deliberately free of service logic: :mod:`repro.service.app` maps
+requests to handlers, this module only frames bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Hard caps so a misbehaving client cannot balloon server memory.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(Exception):
+    """The peer sent something outside the supported HTTP subset."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpProtocolError(f"request body is not valid JSON: "
+                                    f"{exc}") from exc
+        if not isinstance(data, dict):
+            raise HttpProtocolError("request body must be a JSON object")
+        return data
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None when the peer closed between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpProtocolError("truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpProtocolError("request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(f"bad request line {lines[0]!r}")
+    method, path, _ = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError(f"bad header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpProtocolError(f"bad Content-Length {length_text!r}") \
+            from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpProtocolError(f"unsupported Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method.upper(), path=path, headers=headers,
+                   body=body)
+
+
+def response_bytes(status: int, payload: dict,
+                   extra_headers: Optional[Dict[str, str]] = None,
+                   keep_alive: bool = True) -> bytes:
+    """Serialize one JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# ---------------------------------------------------------------------------
+# Client (load generator + tests)
+# ---------------------------------------------------------------------------
+
+class HttpClient:
+    """A keep-alive JSON client over one asyncio connection.
+
+    Reconnects lazily after the server closes the connection; not
+    thread-safe — one client per concurrent load-generator worker.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[dict] = None,
+                      retry_connect: bool = True) -> Tuple[int, dict, dict]:
+        """Issue one request; returns (status, body dict, headers)."""
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Content-Type: application/json\r\n\r\n")
+        try:
+            self._writer.write(head.encode("latin-1") + body)
+            await self._writer.drain()
+            status, headers, raw = await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # The server closed a kept-alive connection (drain, idle
+            # reap); one reconnect attempt keeps clients honest.
+            await self.close()
+            if not retry_connect:
+                raise
+            return await self.request(method, path, payload,
+                                      retry_connect=False)
+        if headers.get("connection") == "close":
+            await self.close()
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            data = {"raw": raw.decode("latin-1", "replace")}
+        return status, data, headers
+
+    async def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return status, headers, body

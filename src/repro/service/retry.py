@@ -1,0 +1,174 @@
+"""Retry/backoff for transient faults + the planner circuit breaker.
+
+Transient-failure model (docs/SERVICE.md): a
+:class:`~repro.errors.WorkerCrashed` means a parallel pool worker died
+— the query itself is fine, so re-running it is safe and usually
+succeeds (the process backend already replaces broken pools).  The
+service retries such failures with exponential backoff and
+deterministic jitter; everything else (syntax, bind, data, timeouts,
+budgets) is *not* retried — those failures are properties of the
+request, not the moment.
+
+The circuit breaker watches the engine's cost-planner → rule-planner
+fallback chain.  One planner fault is handled per query by the engine;
+a *cluster* of them (an injected planner fault storm, a pathological
+template) means every cost-planning attempt is wasted work, so the
+breaker trips and the service plans with the rule strategy directly
+until a cooldown passes and a half-open probe succeeds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.core.result import QueryResult
+from repro.errors import WorkerCrashed
+from repro.service.config import BreakerConfig, RetryConfig
+
+Clock = Callable[[], float]
+
+#: Exception class name recorded on per-series error records when a
+#: worker crash was isolated by the ``on_error`` policy.
+_CRASH_NAME = WorkerCrashed.__name__
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """Is a raised failure worth retrying?"""
+    return isinstance(error, WorkerCrashed)
+
+
+def transient_series_errors(result: QueryResult) -> List[str]:
+    """Per-series worker-crash records in a settled result.
+
+    Under ``on_error='skip'|'partial'`` a crashed worker does not raise
+    — it surfaces as a structured :class:`SeriesError`.  Those series
+    would have succeeded on a healthy pool, so the whole query is
+    re-run (the engine is read-only over its inputs, making the retry
+    idempotent).
+    """
+    return [error.message for error in result.errors
+            if error.error == _CRASH_NAME]
+
+
+class RetryPolicy:
+    """Exponential backoff with bounded, deterministically-jittered
+    delays.
+
+    ``delays(request_id)`` yields ``max_attempts - 1`` sleep durations.
+    Jitter derives from ``seed:request_id:attempt``, so a seeded
+    chaos run replays byte-identical schedules while distinct requests
+    still decorrelate (no thundering-herd retry waves).
+    """
+
+    def __init__(self, config: RetryConfig):
+        self.config = config
+
+    def delays(self, request_id: int) -> List[float]:
+        config = self.config
+        out: List[float] = []
+        for attempt in range(1, config.max_attempts):
+            base = min(config.max_delay_seconds,
+                       config.base_delay_seconds * (2 ** (attempt - 1)))
+            rng = random.Random(f"{config.seed}:{request_id}:{attempt}")
+            jitter = 1.0 + config.jitter_ratio * (2.0 * rng.random() - 1.0)
+            out.append(base * jitter)
+        return out
+
+
+class CircuitBreaker:
+    """Service-wide breaker over planner fallbacks.
+
+    States: ``closed`` (cost planner in use) → ``open`` (rule planner
+    forced; entered when ``fallback_threshold`` fallbacks land within
+    ``window_seconds``) → ``half-open`` (cooldown expired; one probe
+    query may try the cost planner) → ``closed`` on a clean probe or
+    back to ``open`` on another fallback.
+    """
+
+    def __init__(self, config: BreakerConfig, fallback_planner: str,
+                 clock: Clock = time.monotonic):
+        self.config = config
+        self.fallback_planner = fallback_planner
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._fallback_times: List[float] = []
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._advance(self._clock())
+            return self._state
+
+    def _advance(self, now: float) -> None:
+        if self._state == "open" and \
+                now - self._opened_at >= self.config.cooldown_seconds:
+            self._state = "half-open"
+            self._probe_out = False
+
+    def planner_override(self) -> Optional[str]:
+        """The planner this query must use, or None for the configured
+        one.
+
+        In ``open`` state every query gets the rule planner.  In
+        ``half-open`` exactly one caller is handed the cost planner as
+        a probe; concurrent queries keep the rule planner until the
+        probe reports back.
+        """
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            if self._state == "closed":
+                return None
+            if self._state == "half-open" and not self._probe_out:
+                self._probe_out = True
+                return None
+            return self.fallback_planner
+
+    def record_fallback(self) -> None:
+        """A query's cost-planning failed and fell back to rules."""
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            if self._state == "half-open":
+                self._state = "open"
+                self._opened_at = now
+                self.trips += 1
+                self._fallback_times.clear()
+                return
+            if self._state == "open":
+                return
+            window_start = now - self.config.window_seconds
+            self._fallback_times = [
+                t for t in self._fallback_times if t >= window_start]
+            self._fallback_times.append(now)
+            if len(self._fallback_times) >= self.config.fallback_threshold:
+                self._state = "open"
+                self._opened_at = now
+                self.trips += 1
+                self._fallback_times.clear()
+
+    def record_success(self, used_cost_planner: bool) -> None:
+        """A query planned cleanly (no fallback)."""
+        with self._lock:
+            self._advance(self._clock())
+            if self._state == "half-open" and used_cost_planner:
+                self._state = "closed"
+                self._probe_out = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._advance(self._clock())
+            return {
+                "state": self._state,
+                "trips": self.trips,
+                "recent_fallbacks": len(self._fallback_times),
+                "forced_planner": self.fallback_planner
+                if self._state != "closed" else None,
+            }

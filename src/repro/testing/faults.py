@@ -13,6 +13,8 @@ point                      fires
 ``aggregate.lookup``       after every shared-index aggregate lookup (the
                            looked-up value can be *corrupted*)
 ``data.series``            when the engine picks up the next series
+``service.admission``      inside the query service's admission check
+``service.worker``         at the start of each service execution attempt
 =========================  ====================================================
 
 Faults are armed either programmatically::
@@ -21,18 +23,22 @@ Faults are armed either programmatically::
         engine.execute_query(query, table)      # planner raises
 
 or via the ``TREX_FAULTS`` environment variable (read once at import),
-a comma/semicolon-separated list of ``point[:action][@hit]`` entries::
+a comma/semicolon-separated list of ``point[:action][@hit][*times]``
+entries (``*times`` caps how many hits fire, for transient faults)::
 
     TREX_FAULTS="planner.dp:raise" python -m repro query ...
     TREX_FAULTS="data.series:timeout@2,exec.ProbeNot.eval:delay(0.01)"
+    TREX_FAULTS="service.worker:worker*1" python -m repro loadgen ...
 
 Actions: ``raise`` (default, :class:`InjectedFault`), ``timeout``
 (:class:`~repro.errors.QueryTimeout`), ``data``
 (:class:`~repro.errors.DataError`), ``plan``
 (:class:`~repro.errors.PlanError`), ``crash`` (a bare ``RuntimeError``,
-modelling an operator bug outside the library's hierarchy),
-``delay(seconds)``, and — context-manager only — ``corrupt`` with a
-callable mapping the observed value to a corrupted one.
+modelling an operator bug outside the library's hierarchy), ``worker``
+(:class:`~repro.errors.WorkerCrashed`, a transient pool death the
+service retries), ``delay(seconds)``, and — context-manager only —
+``corrupt`` with a callable mapping the observed value to a corrupted
+one.
 
 Overhead guarantee: every hook site is guarded by the module-level
 :data:`ENABLED` flag, so a disarmed process pays one boolean check per
@@ -48,7 +54,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import (DataError, ExecutionError, PlanError, QueryTimeout,
-                          TRexError)
+                          TRexError, WorkerCrashed)
 
 #: Fast-path guard consulted by every hook site; kept in sync with the
 #: registry by :func:`arm`/:func:`disarm`.  Do not set directly.
@@ -61,6 +67,8 @@ FAULT_POINTS = (
     "exec.<OpName>.eval",
     "aggregate.lookup",
     "data.series",
+    "service.admission",
+    "service.worker",
 )
 
 
@@ -74,6 +82,10 @@ _ACTIONS: Dict[str, type] = {
     "data": DataError,
     "plan": PlanError,
     "crash": RuntimeError,
+    # A transient parallel-pool death: the service's retry/backoff layer
+    # treats WorkerCrashed as retryable (docs/SERVICE.md), so chaos runs
+    # arm this with a firing cap (``*times``) to model crash-then-recover.
+    "worker": WorkerCrashed,
 }
 
 
@@ -175,10 +187,24 @@ def inject(point: str, action: str = "raise", on_hit: int = 1,
 
 
 def parse_spec(entry: str) -> FaultSpec:
-    """Parse one ``point[:action][@hit]`` entry (``TREX_FAULTS`` syntax)."""
+    """Parse one ``point[:action][@hit][*times]`` entry.
+
+    ``TREX_FAULTS`` syntax: ``@hit`` is the first (1-based) hit that
+    fires; ``*times`` caps how many hits fire after that — so
+    ``service.worker:worker*1`` injects one transient crash and then
+    behaves cleanly, modelling a fault a retry can recover from.
+    """
     entry = entry.strip()
     if not entry:
         raise ValueError("empty fault entry")
+    times: Optional[int] = None
+    if "*" in entry:
+        entry, _, times_text = entry.rpartition("*")
+        try:
+            times = int(times_text)
+        except ValueError:
+            raise ValueError(f"bad *times in fault entry {entry!r}: "
+                             f"{times_text!r}") from None
     on_hit = 1
     if "@" in entry:
         entry, _, hit_text = entry.rpartition("@")
@@ -199,7 +225,7 @@ def parse_spec(entry: str) -> FaultSpec:
             delay = float(rest[1:-1])
         action = "delay"
     return FaultSpec(point.strip(), action=action, on_hit=on_hit,
-                     delay_seconds=delay)
+                     times=times, delay_seconds=delay)
 
 
 def install_from_env(value: Optional[str] = None) -> List[FaultSpec]:

@@ -61,6 +61,54 @@ SWEEP = [
     ("aggregate.lookup:raise", "raise", 0, "clean"),
 ]
 
+#: Service-level chaos: each case self-hosts a query service via
+#: ``repro loadgen --faults`` and gates the run with ``--check`` — the
+#: fault must surface as a *structured* error family (admission) or be
+#: absorbed by the retry path (worker), never as a transport error.
+SERVICE_SWEEP = [
+    # Two injected admission rejections: structured 429s, rest succeed.
+    ("service.admission:raise@1*2", [], "admission-reject"),
+    # One worker crash on the 2nd execution: retried transparently.
+    ("service.worker:worker@2*1", ["--expect-retries"],
+     "worker-crash-retry"),
+]
+
+
+def run_service_case(out_dir: str, fault: str, extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("TREX_FAULTS", None)  # loadgen sets it itself via --faults
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "loadgen", "--clients", "4",
+         "--requests", "4", "--faults", fault, "--check",
+         "--out", out_dir] + list(extra_args),
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=300)
+    report = None
+    report_path = os.path.join(out_dir, "BENCH_service_load.json")
+    if os.path.exists(report_path):
+        with open(report_path) as fh:
+            report = json.load(fh)
+    return proc, report, time.perf_counter() - t0
+
+
+def check_service_case(name: str, proc, report) -> list:
+    reasons = []
+    if proc.returncode != 0:
+        reasons.append(f"exit code {proc.returncode}, expected 0")
+    if report is None:
+        reasons.append("no BENCH_service_load.json written")
+        return reasons
+    if report.get("unstructured_errors"):
+        reasons.append(f"{report['unstructured_errors']} non-structured "
+                       f"errors under fault injection")
+    families = report.get("errors_by_family", {})
+    if name == "admission-reject" and "admission" not in families:
+        reasons.append("expected structured 'admission' rejections")
+    if name == "worker-crash-retry" and not report.get("retried_requests"):
+        reasons.append("expected at least one retried request")
+    return reasons
+
 
 def run_case(csv_path: str, fault: str, policy: str):
     env = dict(os.environ)
@@ -136,6 +184,23 @@ def main(argv=None) -> int:
         os.unlink(csv_path)
 
     os.makedirs(args.out, exist_ok=True)
+    with tempfile.TemporaryDirectory() as service_out:
+        for fault, extra_args, name in SERVICE_SWEEP:
+            proc, report, seconds = run_service_case(service_out, fault,
+                                                     extra_args)
+            reasons = check_service_case(name, proc, report)
+            ok = not reasons
+            failures += not ok
+            cases.append({
+                "fault": fault, "on_error": "service", "expectation": name,
+                "expected_exit": 0, "exit": proc.returncode, "ok": ok,
+                "reasons": reasons, "seconds": round(seconds, 3),
+                "stderr": proc.stderr.strip().splitlines()[:5],
+            })
+            status = "ok " if ok else "FAIL"
+            print(f"{status} [service] {fault:40s} "
+                  f"exit={proc.returncode}")
+
     summary = {"query": QUERY, "total": len(cases), "failed": failures,
                "cases": cases}
     out_path = os.path.join(args.out, "CHAOS_summary.json")

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Chaos-load harness shim: ``python tools/loadgen.py [args...]``.
+
+Thin wrapper over ``python -m repro loadgen`` (the logic lives in
+:mod:`repro.service.loadgen`) so the tool is runnable straight from a
+checkout without installing the package::
+
+    python tools/loadgen.py --clients 8 --requests 25 --check
+    python tools/loadgen.py --faults 'service.worker:worker@3*2' \\
+        --check --expect-retries
+    python tools/loadgen.py --url 127.0.0.1:8080 --clients 16
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(["loadgen"] + (
+        argv if argv is not None else sys.argv[1:]))
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
