@@ -59,9 +59,16 @@ class _StdIndex(AggregateIndex):
     """Prefix-sum stddev with two numeric guards the naive E[x^2] - E[x]^2
     formula lacks:
 
-    * values are shifted by the series mean before squaring, so the two
-      terms are of comparable (small) magnitude instead of cancelling
-      catastrophically for segments far from zero;
+    * values are shifted by the series mean — rounded to the nearest
+      integer so the shift is exactly representable — before squaring.
+      The two terms stay of comparable (small) magnitude instead of
+      cancelling catastrophically for segments far from zero, and
+      lattice-valued inputs keep exact deltas: shifting by the raw
+      (usually non-representable) mean would perturb every delta by an
+      ulp and make exactly-representable statistics like
+      ``stddev([0, 2]) == 1.0`` disagree with the direct ``np.std``
+      path, the bit-for-bit agreement the differential fuzzer's
+      threshold policy relies on (docs/FUZZING.md);
     * constant segments are detected exactly via run lengths and answer
       0.0 outright — cancellation noise in the prefix sums can otherwise
       make ``stddev(plateau) > 0`` flicker between shared and unshared
@@ -73,7 +80,8 @@ class _StdIndex(AggregateIndex):
     # trex: no-tick(one linear pass at index-build time)
     def __init__(self, values: np.ndarray):
         finite = np.isfinite(values)
-        shift = float(np.mean(values[finite])) if bool(finite.any()) else 0.0
+        shift = (float(np.round(np.mean(values[finite])))
+                 if bool(finite.any()) else 0.0)
         deltas = values - shift
         self._sums = PrefixSums(deltas)
         self._squares = PrefixSums(deltas * deltas)

@@ -15,7 +15,7 @@ from typing import Dict, FrozenSet, Tuple
 
 #: Engine packages the analyzer parses (relative to ``src/repro``).
 CHECKED_PACKAGES: Tuple[str, ...] = (
-    "exec", "aggregates", "baselines", "core")
+    "exec", "aggregates", "baselines", "core", "index")
 
 #: Function names whose bodies root the budget-contract reachability
 #: walk, per package.  ``Operator.eval`` and aggregate ``lookup`` are
@@ -46,7 +46,10 @@ DETERMINISM_SCOPE: Tuple[str, ...] = ("exec", "core", "aggregates")
 #: joined when the vector kernels (exec/vector.py) started doing float
 #: arithmetic of their own; their intentionally-bitwise comparisons are
 #: registered in :data:`EXACT_FLOAT_SITES` below.
-NUMERIC_SCOPE: Tuple[str, ...] = ("aggregates", "exec")
+#: ``index`` joined with the symbolic summaries (index/summary.py):
+#: their envelope probes compare floats bitwise on purpose and carry
+#: ``trex: float-exact`` pragmas at each site.
+NUMERIC_SCOPE: Tuple[str, ...] = ("aggregates", "exec", "index")
 
 #: Files allowed to read clocks/environment (TRX404): the engine
 #: boundary where deadlines are minted, executors selected and metrics

@@ -1,0 +1,92 @@
+"""Seeded multi-series benchmark dataset (docs/PREFILTER.md).
+
+The prefilter's value shows on workloads with *many* series of which
+only a few contain the searched pattern: the symbolic index skips the
+calm majority without touching their points.  The paper's synthetic
+datasets (``repro.datasets``) model per-dataset shape realism; this
+module instead models *selectivity* — a large fleet of calm series with
+a seeded anomalous minority — and is shared by ``repro bench
+--prefilter`` and ``repro bench --parallel --template many_series`` so
+both speedups are measured on realistic series counts.
+
+Everything is deterministic per ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.query import Query, compile_query
+from repro.timeseries.table import Table
+
+#: Calm series stay strictly below this level; anomalous series carry a
+#: plateau above it.  The selective query's threshold sits in between,
+#: so whole-series skips are decidable from the global max alone.
+SPIKE_LEVEL = 100.0
+
+#: The selective query: a short run of consecutive points all above the
+#: spike threshold.  ``min(SPIKE.val)`` gives the prefilter a provable
+#: per-element lower bound, and the window cap bounds the match span.
+SELECTIVE_QUERY_TEXT = """
+PARTITION BY series
+ORDER BY tstamp
+PATTERN (SPIKE & W)
+DEFINE
+  SEGMENT SPIKE AS min(SPIKE.val) >= :spike_level,
+  SEGMENT W AS window(3, 12)
+"""
+
+
+def selective_query(spike_level: float = SPIKE_LEVEL * 0.95) -> Query:
+    """Compile the selective spike query (threshold below SPIKE_LEVEL so
+    every injected plateau is findable)."""
+    return compile_query(SELECTIVE_QUERY_TEXT,
+                         {"spike_level": spike_level})
+
+
+def many_series_table(num_series: int = 64, length: int = 512,
+                      seed: int = 7,
+                      anomaly_fraction: float = 0.05) -> Table:
+    """A fleet of calm AR(1) series with a seeded anomalous minority.
+
+    Calm series meander inside roughly ``[10, 90]`` (clipped below
+    ``SPIKE_LEVEL``); ``round(num_series * anomaly_fraction)`` series
+    (at least one) additionally carry one plateau of 4–8 consecutive
+    points above ``SPIKE_LEVEL``, which :func:`selective_query` matches.
+    Columns: ``tstamp`` (0..length-1), ``series`` (partition key),
+    ``val``.
+    """
+    if num_series < 1 or length < 16:
+        raise ValueError("many_series_table needs num_series >= 1 and "
+                         "length >= 16")
+    rng = np.random.default_rng(seed)
+    num_anomalous = max(1, int(round(num_series * anomaly_fraction)))
+    anomalous = set(
+        rng.choice(num_series, size=min(num_anomalous, num_series),
+                   replace=False).tolist())
+
+    tstamps = np.empty(num_series * length, dtype=np.float64)
+    keys = np.empty(num_series * length, dtype=object)
+    vals = np.empty(num_series * length, dtype=np.float64)
+    base_t = np.arange(length, dtype=np.float64)
+
+    for index in range(num_series):
+        level = float(rng.uniform(20.0, 60.0))
+        sigma = float(rng.uniform(0.5, 2.0))
+        noise = np.zeros(length)
+        shocks = rng.normal(0.0, sigma, size=length)
+        for t in range(1, length):
+            noise[t] = 0.8 * noise[t - 1] + shocks[t]
+        values = np.clip(level + noise, 5.0, SPIKE_LEVEL - 10.0)
+        if index in anomalous:
+            width = int(rng.integers(4, 9))
+            anchor = int(rng.integers(4, length - width - 4))
+            plateau = SPIKE_LEVEL + rng.uniform(2.0, 25.0, size=width)
+            values[anchor:anchor + width] = plateau
+        lo = index * length
+        tstamps[lo:lo + length] = base_t
+        keys[lo:lo + length] = f"M{index:04d}"
+        vals[lo:lo + length] = values
+
+    return Table({"tstamp": tstamps, "series": keys, "val": vals},
+                 time_unit="DAY")

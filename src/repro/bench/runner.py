@@ -384,15 +384,27 @@ def run_bench_parallel(out_dir: str, template_name: str = "v_shape",
     speedup in ``BENCH_parallel_<template>.json``.  The recorded
     ``cpu_count`` qualifies the speedup: a single-core runner cannot
     show one regardless of backend (docs/PARALLELISM.md).
+
+    ``template_name="many_series"`` swaps in the seeded selective-
+    workload generator shared with :func:`run_bench_prefilter`
+    (``repro.bench.dataset``), so parallel speedups can also be
+    measured on a realistic fleet of mostly-calm series.
     """
     import os
 
-    from repro.datasets import load
-    from repro.queries import get_template
+    if template_name == "many_series":
+        from repro.bench.dataset import many_series_table, selective_query
+        table = many_series_table(num_series=num_series, length=length)
+        query = selective_query()
+        bench_name, dataset_name = "many_series", "many_series"
+    else:
+        from repro.datasets import load
+        from repro.queries import get_template
 
-    template = get_template(template_name)
-    table = load(template.dataset, num_series=num_series, length=length)
-    query = template.compile(template.param_sets()[0])
+        template = get_template(template_name)
+        table = load(template.dataset, num_series=num_series, length=length)
+        query = template.compile(template.param_sets()[0])
+        bench_name, dataset_name = template.name, template.dataset
     series_list = table.partition(query.partition_by, query.order_by)
 
     def run(engine: TRexEngine) -> Tuple[List[float], object]:
@@ -414,8 +426,8 @@ def run_bench_parallel(out_dir: str, template_name: str = "v_shape",
     parallel_best = min(parallel_walls)
     payload = {
         "benchmark": "parallel",
-        "template": template.name,
-        "dataset": template.dataset,
+        "template": bench_name,
+        "dataset": dataset_name,
         "num_series": num_series,
         "length": length,
         "executor": executor,
@@ -428,8 +440,64 @@ def run_bench_parallel(out_dir: str, template_name: str = "v_shape",
         "parallel_worker_seconds_sum": parallel_result.execution_seconds,
         "speedup": serial_best / max(parallel_best, 1e-9),
     }
-    return write_bench_artifact(out_dir, f"parallel_{template.name}",
+    return write_bench_artifact(out_dir, f"parallel_{bench_name}",
                                 payload)
+
+
+def run_bench_prefilter(out_dir: str, num_series: int = 160,
+                        length: int = 512, seed: int = 7,
+                        anomaly_fraction: float = 0.05,
+                        repeats: int = 3) -> str:
+    """Prefilter on-vs-off speedup benchmark; returns the artifact path.
+
+    Runs the selective spike query (``repro.bench.dataset``) over a
+    seeded fleet of ``num_series`` mostly-calm series with the symbolic
+    prefilter disabled and enabled, asserts both runs produce the
+    identical match set (the no-false-dismissal contract,
+    docs/PREFILTER.md), and records best-of-``repeats`` wall times, the
+    speedup, and the enabled run's pruning counters in
+    ``BENCH_prefilter.json``.  CI gates the speedup (≥5x) via ``repro
+    bench --prefilter --min-speedup 5``.
+    """
+    from repro.bench.dataset import many_series_table, selective_query
+
+    table = many_series_table(num_series=num_series, length=length,
+                              seed=seed,
+                              anomaly_fraction=anomaly_fraction)
+    query = selective_query()
+    series_list = table.partition(query.partition_by, query.order_by)
+
+    def run(prefilter: bool) -> Tuple[List[float], object]:
+        engine = TRexEngine(optimizer="cost", sharing="auto",
+                            executor="serial", prefilter=prefilter)
+        walls = []
+        result = None
+        for _ in range(repeats):
+            result = engine.execute_query(query, series_list)
+            walls.append(result.execution_wall_seconds)
+        return walls, result
+
+    off_walls, off_result = run(False)
+    on_walls, on_result = run(True)
+    assert off_result.matches_by_key() == on_result.matches_by_key(), \
+        "prefilter changed the match set (false dismissal or phantom)"
+
+    report = dict(on_result.prefilter or {})
+    payload = {
+        "benchmark": "prefilter",
+        "dataset": "many_series",
+        "num_series": num_series,
+        "length": length,
+        "seed": seed,
+        "anomaly_fraction": anomaly_fraction,
+        "repeats": repeats,
+        "total_matches": on_result.total_matches,
+        "off_wall_seconds": off_walls,
+        "on_wall_seconds": on_walls,
+        "speedup": min(off_walls) / max(min(on_walls), 1e-9),
+        "prefilter": report,
+    }
+    return write_bench_artifact(out_dir, "prefilter", payload)
 
 
 def run_bench_vector(out_dir: str, length: int = 20000,

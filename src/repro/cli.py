@@ -93,6 +93,8 @@ def _engine_options(args) -> Dict[str, object]:
         "timeout_seconds": args.timeout,
         "executor": args.executor,
         "workers": args.workers,
+        "prefilter": (None if args.prefilter is None
+                      else args.prefilter == "on"),
     }
 
 
@@ -320,6 +322,28 @@ def cmd_bench(args) -> int:
                   f"vector={min(leg['vector_wall_seconds']):.3f}s"
                   f"{status}")
         return 1 if failed else 0
+    if args.prefilter:
+        import json
+
+        from repro.bench.runner import run_bench_prefilter
+        path = run_bench_prefilter(
+            args.out, num_series=max(args.series, 32),
+            length=max(args.length, 256))
+        print(f"wrote {path}")
+        with open(path) as handle:
+            data = json.load(handle)
+        speedup = data["speedup"]
+        pf = data["prefilter"]
+        print(f"prefilter {speedup:6.1f}x  "
+              f"off={min(data['off_wall_seconds']):.3f}s "
+              f"on={min(data['on_wall_seconds']):.3f}s  "
+              f"skipped={pf['series_skipped']}/{pf['series_examined']} "
+              f"coverage={pf['coverage']:.3f}")
+        if args.min_speedup and speedup < args.min_speedup:
+            print(f"REGRESSION: prefilter speedup {speedup:.1f}x below "
+                  f"{args.min_speedup:.1f}x gate")
+            return 1
+        return 0
     if args.parallel:
         from repro.bench.runner import run_bench_parallel
         path = run_bench_parallel(
@@ -380,6 +404,7 @@ def cmd_fuzz(args) -> int:
           f"{report.oracle_checks} oracle checks, "
           f"{report.metamorphic_checks} metamorphic checks, "
           f"{report.vector_checks} vector checks, "
+          f"{report.prefilter_checks} prefilter checks, "
           f"{report.queries_rejected} rejected, "
           f"{len(report.discrepancies)} discrepancies ({elapsed:.1f}s)")
     print(f"wrote {out_path}")
@@ -424,7 +449,9 @@ def cmd_serve(args) -> int:
                            executor=args.executor or "serial",
                            engine_workers=args.workers,
                            default_timeout_seconds=args.timeout or 10.0,
-                           default_on_error=args.on_error)
+                           default_on_error=args.on_error,
+                           prefilter=(None if args.prefilter is None
+                                      else args.prefilter == "on"))
     if args.serve_dataset:
         config.datasets = _parse_dataset_specs(args.serve_dataset)
 
@@ -532,6 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None, metavar="N",
                        help="worker-pool size for parallel executors "
                             "(default: $TREX_WORKERS or a CPU heuristic)")
+        p.add_argument("--prefilter", default=None,
+                       choices=["on", "off"],
+                       help="force the symbolic pruning prefilter on or "
+                            "off (default: $TREX_PREFILTER or off; "
+                            "docs/PREFILTER.md)")
 
     q = sub.add_parser("query", help="run a pattern query")
     add_query_options(q)
@@ -607,9 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--vector", action="store_true",
                    help="run the scalar-vs-vector leaf kernel benchmark "
                         "(docs/VECTORIZATION.md) instead of the smoke run")
+    b.add_argument("--prefilter", action="store_true",
+                   help="run the prefilter on-vs-off speedup benchmark "
+                        "(docs/PREFILTER.md) instead of the smoke run")
     b.add_argument("--min-speedup", type=float, default=5.0,
-                   help="fail (exit 1) when a fig08 leg of --vector "
-                        "falls below this speedup; 0 disables the gate")
+                   help="fail (exit 1) when a fig08 leg of --vector or "
+                        "the --prefilter speedup falls below this; "
+                        "0 disables the gate")
     b.set_defaults(fn=cmd_bench)
 
     f = sub.add_parser("fuzz", help="differential fuzzing campaign: random "
@@ -659,6 +695,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--on-error", default="partial",
                    choices=["raise", "skip", "partial"],
                    help="default error policy for requests")
+    s.add_argument("--prefilter", default=None, choices=["on", "off"],
+                   help="symbolic pruning prefilter for every request "
+                        "(default: $TREX_PREFILTER or off)")
     s.set_defaults(fn=cmd_serve)
 
     lg = sub.add_parser("loadgen", help="drive a query service with a "

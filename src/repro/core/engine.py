@@ -36,6 +36,9 @@ from repro.exec.base import ExecContext, PhysicalOperator
 from repro.exec.metrics import RunMetrics, instrument_plan
 from repro.lang.query import Query, compile_query
 from repro.plan.logical import LogicalNode, build_logical_plan
+from repro.plan.prefilter import (PrefilterPlan, evaluate_with_prefilter,
+                                  extract_prefilter, prefilter_report)
+from repro.plan.prefilter import default_enabled as _prefilter_default
 from repro.plan.search_space import SearchSpace
 from repro.testing import faults as _faults
 from repro.timeseries.series import Series
@@ -77,7 +80,8 @@ class TRexEngine:
                  executor: Optional[str] = None,
                  workers: Optional[int] = None,
                  plan_cache: Union[bool, PlanCache, None] = None,
-                 vectorize: Optional[bool] = None):
+                 vectorize: Optional[bool] = None,
+                 prefilter: Optional[bool] = None):
         if sharing not in ("auto", "on", "off"):
             raise PlanError(f"sharing must be 'auto', 'on' or 'off', "
                             f"got {sharing!r}")
@@ -103,6 +107,9 @@ class TRexEngine:
         if vectorize is not None and not isinstance(vectorize, bool):
             raise PlanError(f"vectorize must be True, False or None, "
                             f"got {vectorize!r}")
+        if prefilter is not None and not isinstance(prefilter, bool):
+            raise PlanError(f"prefilter must be True, False or None, "
+                            f"got {prefilter!r}")
         self.optimizer = optimizer
         self.sharing = sharing
         #: Wall-clock budget for one execute_query() call, planning
@@ -159,6 +166,14 @@ class TRexEngine:
         #: way; the toggle exists for benchmarking and differential
         #: testing.
         self.vectorize = vectorize
+        #: Symbolic-index prefilter (:mod:`repro.plan.prefilter`):
+        #: ``True`` probes per-series summaries to skip series or narrow
+        #: the root search space before the full matcher runs, ``False``
+        #: forces the classic full scan, ``None`` defers to the
+        #: ``TREX_PREFILTER`` environment variable per query
+        #: (docs/PREFILTER.md).  Pruning is lossless: matches and error
+        #: records are byte-identical either way.
+        self.prefilter = prefilter
         #: Reason string for the most recent build_plan() fallback, or
         #: None when the requested planner was used.
         self.last_planner_fallback: Optional[str] = None
@@ -256,31 +271,41 @@ class TRexEngine:
     def _plan_with_cache(self, query: Query, logical: LogicalNode,
                          non_empty: List[Series],
                          deadline: Optional[float],
-                         planning_deadline: Optional[float]) \
-            -> Tuple[PhysicalOperator, Optional[str]]:
-        """build_plan() through the plan cache; returns (plan, status).
+                         planning_deadline: Optional[float],
+                         prefilter: bool) \
+            -> Tuple[PhysicalOperator, Optional[str],
+                     Optional[PrefilterPlan]]:
+        """build_plan() through the plan cache; returns (plan, status,
+        prefilter plan).
 
         ``status`` is ``'hit'``/``'miss'`` when a cache is configured,
         None otherwise.  Cached entries carry the planner-fallback
         reason recorded at build time, so a cached fallback plan is
-        still reported as one on every reuse.
+        still reported as one on every reuse — and, for prefilter-on
+        engines, the extracted :class:`PrefilterPlan` (extraction is
+        deterministic per bound query, so caching it is free and keeps
+        repeat queries from re-walking the condition ASTs).
         """
         cache = self.plan_cache
         if cache is None:
-            return self.build_plan(query, logical, non_empty,
+            plan = self.build_plan(query, logical, non_empty,
                                    deadline=deadline,
-                                   planning_deadline=planning_deadline), None
-        key = cache.plan_key(query, self.optimizer, self.sharing, non_empty)
+                                   planning_deadline=planning_deadline)
+            pfplan = extract_prefilter(query, logical) if prefilter else None
+            return plan, None, pfplan
+        key = cache.plan_key(query, self.optimizer, self.sharing, non_empty,
+                             prefilter=prefilter)
         entry = cache.get_plan(key)
         if entry is not None:
-            plan, fallback = entry
+            plan, fallback, pfplan = entry
             self.last_planner_fallback = fallback
-            return plan, "hit"
+            return plan, "hit", pfplan
         plan = self.build_plan(query, logical, non_empty,
                                deadline=deadline,
                                planning_deadline=planning_deadline)
-        cache.put_plan(key, (plan, self.last_planner_fallback))
-        return plan, "miss"
+        pfplan = extract_prefilter(query, logical) if prefilter else None
+        cache.put_plan(key, (plan, self.last_planner_fallback, pfplan))
+        return plan, "miss", pfplan
 
     def execute_query(self, query: Query,
                       table: Union[Table, List[Series]]) -> QueryResult:
@@ -308,9 +333,12 @@ class TRexEngine:
         planning_deadline = None
         if self.planning_timeout_seconds is not None:
             planning_deadline = t0 + self.planning_timeout_seconds
+        prefilter_on = self.prefilter if self.prefilter is not None \
+            else _prefilter_default()
         try:
-            plan, cache_status = self._plan_with_cache(
-                query, logical, non_empty, deadline, planning_deadline)
+            plan, cache_status, pfplan = self._plan_with_cache(
+                query, logical, non_empty, deadline, planning_deadline,
+                prefilter_on)
         except QueryTimeout as exc:
             if self.on_error == "raise":
                 raise
@@ -331,13 +359,16 @@ class TRexEngine:
         # Analyze mode evaluates an instrumented shallow copy; the
         # original plan is untouched, so disabled mode pays nothing.
         exec_plan = instrument_plan(plan) if self.analyze else plan
+        pf_totals: Counter = Counter()
         try:
             if self.executor == "serial":
                 total_metrics = self._execute_serial(
-                    result, plan, exec_plan, query, series_list, deadline)
+                    result, plan, exec_plan, query, series_list, deadline,
+                    pfplan, pf_totals)
             else:
                 total_metrics = self._execute_parallel(
-                    result, plan, exec_plan, query, series_list, deadline)
+                    result, plan, exec_plan, query, series_list, deadline,
+                    pfplan, pf_totals)
         except KeyboardInterrupt:
             # SIGINT mid-query: under 'raise' the interrupt propagates
             # untouched; under 'skip'/'partial' the engine settles — the
@@ -353,11 +384,23 @@ class TRexEngine:
             result.interrupted = True
             result.degradation = "interrupted: KeyboardInterrupt (SIGINT)"
         result.execution_wall_seconds = time.perf_counter() - t1
+        if prefilter_on:
+            result.prefilter = prefilter_report(pfplan, pf_totals)
         if total_metrics is not None:
             total_metrics.finalize(plan)
             result.op_metrics = total_metrics
             result.plan_analyze = total_metrics.annotate(plan)
             result.analyze_tree = total_metrics.tree_dict(plan)
+            if result.prefilter is not None:
+                pf = result.prefilter
+                result.plan_analyze = (
+                    f":: prefilter: {pf['plan']} "
+                    f"(skipped={pf['series_skipped']} "
+                    f"narrowed={pf['series_narrowed']} "
+                    f"full={pf['series_full']} "
+                    f"of {pf['series_examined']}; "
+                    f"coverage={pf['coverage']:.2f})\n"
+                    + result.plan_analyze)
             if result.plan_cache is not None:
                 result.plan_analyze = (
                     f":: plan cache: {result.plan_cache['plan']} "
@@ -373,7 +416,9 @@ class TRexEngine:
     def _execute_serial(self, result: QueryResult, plan: PhysicalOperator,
                         exec_plan: PhysicalOperator, query: Query,
                         series_list: List[Series],
-                        deadline: Optional[float]) -> Optional[RunMetrics]:
+                        deadline: Optional[float],
+                        pfplan: Optional[PrefilterPlan],
+                        pf_totals: Counter) -> Optional[RunMetrics]:
         """The historical strictly-ordered per-series loop (unchanged)."""
         total_metrics = RunMetrics() if self.analyze else None
         exec_seconds = 0.0
@@ -386,9 +431,12 @@ class TRexEngine:
                 result.per_series.append(SeriesMatches(series.key, []))
                 continue
             t2 = time.perf_counter()
-            matches, ctx, error = self._execute_series(
+            matches, ctx, error, pf_counters = self._execute_series(
                 exec_plan, series, query, deadline=deadline,
-                limit=remaining, segment_budget=seg_remaining)
+                limit=remaining, segment_budget=seg_remaining,
+                prefilter=pfplan)
+            if pf_counters:
+                pf_totals.update(pf_counters)
             seconds = time.perf_counter() - t2
             exec_seconds += seconds
             if ctx is not None and ctx.metrics is not None:
@@ -433,7 +481,9 @@ class TRexEngine:
     def _execute_parallel(self, result: QueryResult, plan: PhysicalOperator,
                           exec_plan: PhysicalOperator, query: Query,
                           series_list: List[Series],
-                          deadline: Optional[float]) -> Optional[RunMetrics]:
+                          deadline: Optional[float],
+                          pfplan: Optional[PrefilterPlan],
+                          pf_totals: Counter) -> Optional[RunMetrics]:
         """Fan the per-series loop over a worker pool, then settle.
 
         Workers run every non-empty series concurrently with the *full*
@@ -457,7 +507,7 @@ class TRexEngine:
                            limit=self.max_matches,
                            segment_budget=self.max_segments,
                            deadline=deadline, analyze=self.analyze,
-                           vectorize=self.vectorize)
+                           vectorize=self.vectorize, prefilter=pfplan)
             for index, series in enumerate(series_list) if len(series)
         ]
         outcomes = par.dispatch(
@@ -480,7 +530,9 @@ class TRexEngine:
                 outcome = self._replay_series(
                     exec_plan, plan, series, query, deadline,
                     limit=remaining, segment_budget=seg_remaining,
-                    index=index)
+                    index=index, prefilter=pfplan)
+            if outcome.prefilter:
+                pf_totals.update(outcome.prefilter)
             if outcome.error is not None and self.on_error == "raise":
                 # First failure in series order propagates, as in the
                 # serial loop (later workers' results are discarded).
@@ -549,7 +601,8 @@ class TRexEngine:
     def _replay_series(self, exec_plan: PhysicalOperator,
                        plan: PhysicalOperator, series: Series, query: Query,
                        deadline: Optional[float], limit: Optional[int],
-                       segment_budget: Optional[int], index: int):
+                       segment_budget: Optional[int], index: int,
+                       prefilter: Optional[PrefilterPlan] = None):
         """Re-run one series serially with the exact remaining budgets.
 
         Budget exhaustion is deterministic (it depends only on the
@@ -562,9 +615,10 @@ class TRexEngine:
         from repro.core import parallel as par
 
         t2 = time.perf_counter()
-        matches, ctx, error = self._execute_series(
+        matches, ctx, error, pf_counters = self._execute_series(
             exec_plan, series, query, deadline=deadline,
-            limit=limit, segment_budget=segment_budget)
+            limit=limit, segment_budget=segment_budget,
+            prefilter=prefilter)
         seconds = time.perf_counter() - t2
         if ctx is not None and ctx.metrics is not None:
             ctx.metrics.finalize(plan)
@@ -574,7 +628,7 @@ class TRexEngine:
             seconds=seconds,
             metrics=ctx.metrics if ctx is not None else None,
             segments_charged=ctx.segments_charged if ctx is not None else 0,
-            error=error)
+            error=error, prefilter=pf_counters)
 
     def explain_match(self, query: Query, series: Series, start: int,
                       end: int):
@@ -606,19 +660,22 @@ class TRexEngine:
     def _execute_series(self, plan: PhysicalOperator, series: Series,
                         query: Query, deadline: Optional[float],
                         limit: Optional[int],
-                        segment_budget: Optional[int]) \
+                        segment_budget: Optional[int],
+                        prefilter: Optional[PrefilterPlan] = None) \
             -> Tuple[List[Tuple[int, int]], Optional[ExecContext],
-                     Optional[BaseException]]:
+                     Optional[BaseException], Optional[Counter]]:
         """Run the plan over one series under the engine's error policy.
 
         Under ``'raise'`` exceptions propagate untouched; otherwise the
         failure is captured and the sink's partial harvest (sorted,
         duplicate-free — a subset of the clean run's matches) is
-        returned alongside it.
+        returned alongside it.  The final element is the prefilter's
+        decision counters, ``None`` when the prefilter was off/inert.
         """
         guarded = self.on_error != "raise"
         ctx: Optional[ExecContext] = None
         error: Optional[BaseException] = None
+        pf_counters: Optional[Counter] = None
         sink = _MatchSink(limit)
         try:
             if _faults.ENABLED:
@@ -627,8 +684,8 @@ class TRexEngine:
                               metrics=RunMetrics() if self.analyze else None,
                               segment_budget=segment_budget,
                               vectorize=self.vectorize)
-            sink.consume(plan.eval(ctx, SearchSpace.full(len(series)), {}),
-                         ctx)
+            pf_counters = evaluate_with_prefilter(plan, prefilter, ctx,
+                                                  series, sink)
         except Exception as exc:  # noqa: BLE001 — policy-gated isolation
             if not guarded:
                 raise
@@ -637,7 +694,7 @@ class TRexEngine:
                 _logger.exception("series %s failed with a non-library "
                                   "error (isolated by on_error=%r)",
                                   series.key, self.on_error)
-        return sink.finish(), ctx, error
+        return sink.finish(), ctx, error, pf_counters
 
 
 def find_matches(table: Table, query_text: str,

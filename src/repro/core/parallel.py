@@ -43,7 +43,7 @@ from repro.errors import ResourceBudgetExceeded, TRexError, WorkerCrashed
 from repro.exec.base import ExecContext, PhysicalOperator
 from repro.exec.metrics import RunMetrics, instrument_plan
 from repro.lang.query import Query
-from repro.plan.search_space import SearchSpace
+from repro.plan.prefilter import PrefilterPlan, evaluate_with_prefilter
 from repro.testing import faults as _faults
 from repro.timeseries.series import Series
 
@@ -126,6 +126,9 @@ class SeriesOutcome:
     error: Optional[BaseException] = None
     #: The shared ledger (not this series' own budget) stopped the run.
     ledger_exhausted: bool = False
+    #: Prefilter decision counters for this series (``None`` when the
+    #: prefilter was off or inert — docs/PREFILTER.md).
+    prefilter: Optional[Counter] = None
 
 
 @dataclass
@@ -141,6 +144,10 @@ class SeriesTask:
     #: Engine-level vector-kernel toggle, forwarded to the worker's
     #: ExecContext so serial and parallel runs take the same leaf path.
     vectorize: Optional[bool] = None
+    #: Extracted prefilter plan (plain picklable dataclasses), so every
+    #: backend takes the identical skip/narrow/full decision the serial
+    #: engine would take for this series.
+    prefilter: Optional[PrefilterPlan] = None
 
 
 def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
@@ -158,6 +165,7 @@ def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
     sink = MatchSink(task.limit)
     ctx: Optional[ExecContext] = None
     error: Optional[BaseException] = None
+    pf_counters: Optional[Counter] = None
     t0 = time.perf_counter()
     try:
         if _faults.ENABLED:
@@ -167,8 +175,8 @@ def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
                           metrics=RunMetrics() if task.analyze else None,
                           segment_budget=task.segment_budget,
                           ledger=ledger, vectorize=task.vectorize)
-        sink.consume(plan.eval(ctx, SearchSpace.full(len(task.series)), {}),
-                     ctx)
+        pf_counters = evaluate_with_prefilter(
+            plan, task.prefilter, ctx, task.series, sink)
     except Exception as exc:  # noqa: BLE001 — settled by the merge step
         error = exc
         if log_unexpected and not isinstance(exc, TRexError):
@@ -187,7 +195,8 @@ def run_series(plan: PhysicalOperator, raw_plan: PhysicalOperator,
         metrics=metrics,
         segments_charged=ctx.segments_charged if ctx is not None else 0,
         error=error,
-        ledger_exhausted=isinstance(error, LedgerExhausted))
+        ledger_exhausted=isinstance(error, LedgerExhausted),
+        prefilter=pf_counters)
 
 
 # ---------------------------------------------------------------------------

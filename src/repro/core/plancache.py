@@ -9,8 +9,9 @@ stages:
 
 * ``compile`` — ``(query_text, params, registry)`` → bound
   :class:`~repro.lang.query.Query`;
-* ``plan`` — ``(bound query fingerprint, planner, sharing, data-stats
-  fingerprint)`` → ``(physical plan, planner_fallback reason)``.
+* ``plan`` — ``(bound query fingerprint, planner, sharing, prefilter
+  toggle, data-stats fingerprint)`` → ``(physical plan,
+  planner_fallback reason, extracted prefilter plan)``.
 
 Keying rules (the guard rails):
 
@@ -40,10 +41,12 @@ from repro.exec.base import PhysicalOperator
 from repro.lang.query import Query, compile_query
 from repro.timeseries.series import Series
 
-#: A cached plan entry: the physical plan plus the planner-fallback
-#: reason recorded when it was built (re-reported on every hit so a
-#: cached fallback plan stays visible as one).
-PlanEntry = Tuple[PhysicalOperator, Optional[str]]
+#: A cached plan entry: the physical plan, the planner-fallback reason
+#: recorded when it was built (re-reported on every hit so a cached
+#: fallback plan stays visible as one), and the extracted prefilter
+#: plan (:class:`repro.plan.prefilter.PrefilterPlan`, or ``None`` for
+#: entries built with the prefilter disabled).
+PlanEntry = Tuple[PhysicalOperator, Optional[str], Optional[object]]
 
 
 def params_fingerprint(params: Optional[dict]) -> tuple:
@@ -130,11 +133,19 @@ class PlanCache:
 
     @staticmethod
     def plan_key(query: Query, optimizer, sharing: str,
-                 series_list: Sequence[Series]) -> tuple:
-        """Cache key for one (bound query, planner, data) combination."""
+                 series_list: Sequence[Series],
+                 prefilter: bool = False) -> tuple:
+        """Cache key for one (bound query, planner, data) combination.
+
+        ``prefilter`` is part of the key because entries built with the
+        prefilter enabled additionally carry the extracted
+        :class:`~repro.plan.prefilter.PrefilterPlan`; the *physical
+        plan* inside the entry is identical either way (planning never
+        depends on the toggle — docs/PREFILTER.md).
+        """
         label = getattr(optimizer, "label", None) or str(optimizer)
         return (query.describe(), id(query.registry), label, sharing,
-                stats_fingerprint(series_list))
+                bool(prefilter), stats_fingerprint(series_list))
 
     def get_plan(self, key: tuple) -> Optional[PlanEntry]:
         with self._lock:

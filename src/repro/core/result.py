@@ -104,6 +104,11 @@ class QueryResult:
     #: Set when the cost-based planner failed and the engine fell back
     #: to a rule-based strategy (docs/ROBUSTNESS.md).
     planner_fallback: Optional[str] = None
+    #: Prefilter/pruning report (docs/PREFILTER.md): the extracted-plan
+    #: summary plus series/block/range counters.  ``None`` whenever the
+    #: engine ran with the prefilter disabled, so disabled-mode results
+    #: are byte-identical to the pre-prefilter engine's.
+    prefilter: Optional[Dict[str, object]] = None
 
     @property
     def errors(self) -> List[SeriesError]:
@@ -174,6 +179,8 @@ class QueryResult:
             data["plan_cache"] = dict(self.plan_cache)
         if self.planner_fallback is not None:
             data["planner_fallback"] = self.planner_fallback
+        if self.prefilter is not None:
+            data["prefilter"] = dict(self.prefilter)
         errors = self.errors
         if errors:
             data["errors"] = [error.to_dict() for error in errors]

@@ -77,6 +77,19 @@ DEFAULT_PROBE_OVERHEAD = 3000.0
 #: planning deterministic and toggle-independent.
 DEFAULT_VECTOR_LEAF_DISCOUNT = 0.45
 
+#: Points per symbolic-index block (:mod:`repro.index.summary`).  Like
+#: the vector discount above, these prefilter parameters are consumed at
+#: *runtime* only — planning costs never depend on the prefilter toggle,
+#: so the physical plan (and ``plan_explain``) is byte-identical whether
+#: the prefilter is on or off (docs/PREFILTER.md).
+DEFAULT_PREFILTER_BLOCK_SIZE = 64
+
+#: When the candidate ranges the prefilter materialized still cover at
+#: least this fraction of the series, narrowing cannot pay for its own
+#: bookkeeping: the prefilter falls back to the full scan for that
+#: series (decision recorded in the ``series_full`` counter).
+DEFAULT_PREFILTER_COVERAGE_GATE = 0.95
+
 
 def shape_value(shape: Optional[str], size: float) -> float:
     """Evaluate a cost shape ('C'/'L'/'Q') at ``size``."""
@@ -102,6 +115,10 @@ class CostParams:
     probe_overhead: float = DEFAULT_PROBE_OVERHEAD
     #: Per-candidate multiplier for vector-compilable leaf conditions.
     vector_leaf_discount: float = DEFAULT_VECTOR_LEAF_DISCOUNT
+    #: Symbolic-index block size used by the prefilter (runtime only).
+    prefilter_block_size: int = DEFAULT_PREFILTER_BLOCK_SIZE
+    #: Candidate-coverage fraction above which narrowing is abandoned.
+    prefilter_coverage_gate: float = DEFAULT_PREFILTER_COVERAGE_GATE
 
     def f_op(self, op_name: str, cardinality_sum: float) -> float:
         """Operator cost (Equation 1): ``w * (cardinality sum)``."""

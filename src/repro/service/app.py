@@ -513,8 +513,14 @@ class QueryService:
             on_error=item.on_error, max_segments=item.max_segments,
             executor=self.config.executor,
             workers=self.config.engine_workers,
-            plan_cache=self.plan_cache, vectorize=self.config.vectorize)
+            plan_cache=self.plan_cache, vectorize=self.config.vectorize,
+            prefilter=self.config.prefilter)
         result = engine.execute_query(item.query, item.table)
+        if result.prefilter:
+            for key in ("series_examined", "series_skipped",
+                        "series_narrowed", "series_full"):
+                self.metrics.counters.add(f"prefilter_{key}",
+                                          int(result.prefilter[key]))
         exec_seconds = result.planning_seconds + \
             result.execution_wall_seconds
         self._observe_exec_seconds(exec_seconds)

@@ -115,6 +115,9 @@ class ServiceConfig:
     executor: str = "serial"
     engine_workers: Optional[int] = None
     vectorize: Optional[bool] = None
+    #: Symbolic pruning prefilter (docs/PREFILTER.md); ``None`` defers
+    #: to ``TREX_PREFILTER``.
+    prefilter: Optional[bool] = None
     #: Service concurrency: how many queries execute at once (each on
     #: its own thread so the asyncio loop stays responsive).
     workers: int = 4
@@ -167,6 +170,7 @@ class ServiceConfig:
             "datasets": [list(entry) for entry in self.datasets],
             "optimizer": self.optimizer,
             "executor": self.executor,
+            "prefilter": self.prefilter,
             "workers": self.workers,
             "queue_depth": self.queue_depth,
             "default_timeout_seconds": self.default_timeout_seconds,

@@ -21,6 +21,10 @@ counter                    meaning
 ``breaker_trips``          circuit-breaker closed->open transitions
 ``worker_crashes``         pool-level crashes observed (parallel hook)
 ``drained``                admitted queries settled during drain
+``prefilter_*``            pruning totals summed over prefilter-enabled
+                           requests: ``series_examined``,
+                           ``series_skipped``, ``series_narrowed``,
+                           ``series_full`` (docs/PREFILTER.md)
 =========================  ================================================
 """
 

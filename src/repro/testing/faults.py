@@ -13,6 +13,9 @@ point                      fires
 ``aggregate.lookup``       after every shared-index aggregate lookup (the
                            looked-up value can be *corrupted*)
 ``data.series``            when the engine picks up the next series
+``index.probe``            after the prefilter fetches a series' symbolic
+                           summary (the summary can be *corrupted* to
+                           model a stale or damaged index)
 ``service.admission``      inside the query service's admission check
 ``service.worker``         at the start of each service execution attempt
 =========================  ====================================================
@@ -67,6 +70,7 @@ FAULT_POINTS = (
     "exec.<OpName>.eval",
     "aggregate.lookup",
     "data.series",
+    "index.probe",
     "service.admission",
     "service.worker",
 )

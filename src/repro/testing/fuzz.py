@@ -444,6 +444,10 @@ BACKENDS: Dict[str, Callable[[Query, Series], MatchSet]] = {
                                   executor="serial", vectorize=False),
     "trex:vec": _engine_backend(optimizer="cost", sharing="auto",
                                 executor="serial", vectorize=True),
+    "trex:noprefilter": _engine_backend(optimizer="cost", sharing="auto",
+                                        executor="serial", prefilter=False),
+    "trex:prefilter": _engine_backend(optimizer="cost", sharing="auto",
+                                      executor="serial", prefilter=True),
     "trex-batch": _baseline_backend("trex-batch", True),
     "afa": _baseline_backend("afa", True),
     "afa:off": _baseline_backend("afa", False),
@@ -455,6 +459,7 @@ BACKENDS: Dict[str, Callable[[Query, Series], MatchSet]] = {
 #: Backends checked on every case; the rest rotate in by case index.
 CORE_BACKENDS = ("trex:cost:auto", "trex:cost:on", "trex:cost:off",
                  "trex:pr_left", "trex:thread", "trex:novec", "trex:vec",
+                 "trex:noprefilter", "trex:prefilter",
                  "trex-batch", "afa", "zstream")
 ROTATING_BACKENDS = ("trex:pr_right", "trex:sm_left", "trex:sm_right",
                      "afa:off", "nested-afa", "opencep")
@@ -619,6 +624,78 @@ def vector_check(query: Query, query_text: str, tstamps: Sequence[float],
                 "vector", f"sharing={sharing}", query_text,
                 list(tstamps), list(values),
                 _first_diff(snaps[False], snaps[True])))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Prefilter no-false-dismissal oracle
+# ---------------------------------------------------------------------------
+
+def _parity_slice(snap: Dict[str, object]) -> Dict[str, object]:
+    """The always-identical part of a result snapshot.
+
+    Matches, structured error records, the plan text and degradation
+    state must agree between prefilter-on and prefilter-off runs no
+    matter what was pruned; stats and per-operator metrics measure the
+    *work performed*, which pruning exists to reduce, so those are only
+    compared when the prefilter made no decision (docs/PREFILTER.md).
+    """
+    return {
+        "series": [{"matches": e["matches"], "error": e["error"]}
+                   for e in snap["series"]],  # type: ignore[union-attr]
+        "plan": snap["plan"],
+        "interrupted": snap["interrupted"],
+        "degradation": snap["degradation"],
+    }
+
+
+def prefilter_check(query: Query, query_text: str, tstamps: Sequence[float],
+                    values: Sequence[float]) -> List[Discrepancy]:
+    """Differential no-false-dismissal oracle: prefilter on vs. off.
+
+    Three nested guarantees, strongest applicable wins:
+
+    * the symbolic index must be *sound* for the series — every block's
+      envelope brackets the exact block min/max
+      (:meth:`repro.index.summary.SeriesSummary.validate`);
+    * matches, error records, plan text and degradation state must be
+      byte-identical between the two runs, always;
+    * when the prefilter made no pruning decision (nothing skipped or
+      narrowed) the *entire* snapshot — stats counters and per-operator
+      metrics included — must be byte-identical, because an inert
+      prefilter promises a bit-for-bit classic run.
+    """
+    series = build_series(tstamps, values)
+    found: List[Discrepancy] = []
+    try:
+        from repro.index.summary import build_summary
+        build_summary(series).validate(series)
+    except Exception as exc:  # soundness violations are the headline bug
+        found.append(Discrepancy(
+            "prefilter", "envelope", query_text, list(tstamps),
+            list(values),
+            f"index envelope unsound: {type(exc).__name__}: {exc}"))
+    snaps: Dict[bool, object] = {}
+    pruned = False
+    for enabled in (False, True):
+        try:
+            result = TRexEngine(
+                optimizer="cost", sharing="auto", executor="serial",
+                analyze=True, on_error="partial",
+                prefilter=enabled).execute_query(query, [series])
+            snaps[enabled] = _result_snapshot(result)
+            if enabled and result.prefilter is not None:
+                pruned = bool(result.prefilter["series_skipped"]
+                              or result.prefilter["series_narrowed"])
+        except Exception as exc:  # crashes are findings too
+            snaps[enabled] = ("raised", type(exc).__name__, str(exc))
+    off, on = snaps[False], snaps[True]
+    if isinstance(off, dict) and isinstance(on, dict) and pruned:
+        off, on = _parity_slice(off), _parity_slice(on)
+    if off != on:
+        found.append(Discrepancy(
+            "prefilter", f"pruned={pruned}", query_text,
+            list(tstamps), list(values), _first_diff(off, on)))
     return found
 
 
@@ -914,6 +991,8 @@ def replay_case(case: Dict[str, object],
         # Vector divergences can hide in stats/metrics while match sets
         # agree; replay those cases through the deep-equality oracle.
         found.extend(vector_check(query, query_text, tstamps, values))
+    if str(case.get("kind", "")).startswith("prefilter"):
+        found.extend(prefilter_check(query, query_text, tstamps, values))
     return found
 
 
@@ -932,6 +1011,7 @@ class FuzzReport:
     oracle_checks: int = 0
     metamorphic_checks: int = 0
     vector_checks: int = 0
+    prefilter_checks: int = 0
     discrepancies: List[Discrepancy] = field(default_factory=list)
     minimized: List[Dict[str, object]] = field(default_factory=list)
 
@@ -944,6 +1024,7 @@ class FuzzReport:
             "oracle_checks": self.oracle_checks,
             "metamorphic_checks": self.metamorphic_checks,
             "vector_checks": self.vector_checks,
+            "prefilter_checks": self.prefilter_checks,
             "discrepancies": [d.to_dict() for d in self.discrepancies],
             "minimized": self.minimized,
         }
@@ -965,6 +1046,9 @@ def _minimize_discrepancy(spec: object, disc: Discrepancy,
             if kind == "vector":
                 return bool(vector_check(compile_query(text), text,
                                          tstamps, values))
+            if kind == "prefilter":
+                return bool(prefilter_check(compile_query(text), text,
+                                            tstamps, values))
             failures = metamorphic_check(cand, tstamps, values)
             return any(f.kind == kind for f in failures)
         except TRexError:
@@ -987,6 +1071,10 @@ def run_fuzz(queries: int = 100, seed: int = 0, series_per_query: int = 3,
     # Boundary-biased generator for the scalar/vector oracle: heavier
     # NaN poisoning and more n in {0, 1, 2} degenerate series.
     vgen = SeriesGen(rng, nan_bias=0.3, tiny_bias=0.35)
+    # Long-series generator for the prefilter oracle: series spanning
+    # several symbolic-index blocks so skip *and* narrow decisions both
+    # fire (short fuzz series fit one block and only exercise skip).
+    pgen = SeriesGen(rng, max_len=220)
     report = FuzzReport(seed=seed)
     produced = 0
     attempts = 0
@@ -1021,10 +1109,18 @@ def run_fuzz(queries: int = 100, seed: int = 0, series_per_query: int = 3,
             failures.extend(metamorphic_check(spec, tstamps, values))
             report.vector_checks += 1
             failures.extend(vector_check(query, text, tstamps, values))
+            report.prefilter_checks += 1
+            failures.extend(prefilter_check(query, text, tstamps, values))
             settle(failures)
         # One extra boundary-biased series per query, deep-checked only.
         tstamps, values = vgen.generate()
         report.cases_checked += 1
         report.vector_checks += 1
         settle(vector_check(query, text, tstamps, values))
+        # And one multi-block series through the prefilter differential
+        # oracle, where narrow decisions become reachable.
+        tstamps, values = pgen.generate()
+        report.cases_checked += 1
+        report.prefilter_checks += 1
+        settle(prefilter_check(query, text, tstamps, values))
     return report

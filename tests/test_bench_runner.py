@@ -119,6 +119,40 @@ class TestBenchArtifacts:
         assert "plan" in analyze
         assert "SegGen" in data["plan_analyze"]
 
+    def test_run_bench_prefilter_emits_artifact(self, tmp_path):
+        import json
+
+        from repro.bench.runner import run_bench_prefilter
+        path = run_bench_prefilter(str(tmp_path), num_series=24,
+                                   length=256, repeats=2)
+        assert path.endswith("BENCH_prefilter.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["benchmark"] == "prefilter"
+        assert data["dataset"] == "many_series"
+        assert data["num_series"] == 24
+        assert len(data["off_wall_seconds"]) == 2
+        assert len(data["on_wall_seconds"]) == 2
+        assert data["speedup"] > 0
+        assert data["total_matches"] > 0
+        report = data["prefilter"]
+        assert report["series_skipped"] > 0
+        assert report["series_examined"] == 24
+
+    def test_run_bench_parallel_many_series_template(self, tmp_path):
+        import json
+
+        from repro.bench.runner import run_bench_parallel
+        path = run_bench_parallel(str(tmp_path),
+                                  template_name="many_series",
+                                  num_series=8, length=64, workers=2,
+                                  repeats=1)
+        assert path.endswith("BENCH_parallel_many_series.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["dataset"] == "many_series"
+        assert data["speedup"] > 0
+
     def test_run_bench_parallel_emits_artifact(self, tmp_path):
         import json
         import os

@@ -233,9 +233,11 @@ def test_corpus_replay_catches_reintroduced_bug(monkeypatch):
 
 def test_run_fuzz_small_campaign_clean():
     report = run_fuzz(queries=6, seed=123, series_per_query=2)
-    # series_per_query plus the extra NaN/tiny-biased series each query
-    # gets for the scalar/vector boundary (docs/VECTORIZATION.md).
-    assert report.cases_checked == 18
+    # series_per_query plus the extra NaN/tiny-biased series for the
+    # scalar/vector boundary (docs/VECTORIZATION.md) and the extra
+    # multi-block series for the prefilter skip/narrow boundary
+    # (docs/PREFILTER.md) that each query gets.
+    assert report.cases_checked == 24
     assert report.discrepancies == []
     assert report.queries_rejected == 0
     payload = report.to_dict()
